@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Each figure's benchmark runs its experiment once (rounds=1: these are
+simulations, not micro-benchmarks), prints the same series the paper's
+figure reports, and asserts the paper's *shape* — who wins, by roughly
+what factor, where crossovers fall.  Absolute numbers differ from the
+paper by design (simulated substrate, scaled-down sizes; see
+EXPERIMENTS.md).
+
+pytest captures stdout of passing tests, so every report is also
+appended to ``bench_results.txt`` at the repository root — read that
+file (or run with ``-s``) for the full figure-by-figure output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent / "bench_results.txt"
+_truncated = False
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(report: str) -> None:
+    """Print a figure report and persist it to bench_results.txt."""
+    global _truncated
+    sys.stdout.write("\n" + report + "\n")
+    mode = "a" if _truncated else "w"
+    with open(RESULTS_PATH, mode) as handle:
+        handle.write(report + "\n\n")
+    _truncated = True

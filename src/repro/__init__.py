@@ -1,0 +1,29 @@
+"""repro — a reproduction of Shard Manager (SOSP 2021).
+
+A from-scratch Python implementation of Facebook's generic shard
+management framework for geo-distributed applications, together with
+every substrate it depends on (cluster manager, coordination store,
+service discovery, constraint solver), all running on a discrete-event
+simulated datacenter fleet.
+
+See README.md, DESIGN.md and the examples/ directory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "app",
+    "apps",
+    "baselines",
+    "cluster",
+    "coordination",
+    "core",
+    "discovery",
+    "experiments",
+    "harness",
+    "metrics",
+    "replication",
+    "sim",
+    "solver",
+    "workloads",
+]

@@ -1,0 +1,19 @@
+"""Application-side pieces: SM library, servers, clients, runtime glue."""
+
+from .client import ApplicationClient, WorkloadRecorder, get_client
+from .interfaces import NotOwnerError, RequestHandler, ShardHost
+from .runtime import AppRuntime
+from .server import ApplicationServer, HostedShard, HostedState
+
+__all__ = [
+    "ApplicationClient",
+    "WorkloadRecorder",
+    "get_client",
+    "NotOwnerError",
+    "RequestHandler",
+    "ShardHost",
+    "AppRuntime",
+    "ApplicationServer",
+    "HostedShard",
+    "HostedState",
+]

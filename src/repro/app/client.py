@@ -1,0 +1,122 @@
+"""Application clients: ``get_client(app_name, key)`` and workload drivers.
+
+A client owns a network endpoint, a :class:`~repro.discovery.ServiceRouter`
+fed by service discovery, and helpers to run open-loop request streams
+whose outcomes land in a :class:`~repro.metrics.RateWindow` (success rate
+per bucket — the Fig 17 y-axis) and a latency series (the Fig 19 y-axis).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..discovery.router import RequestOutcome, ServiceRouter
+from ..discovery.service_discovery import ServiceDiscovery
+from ..metrics.timeseries import RateWindow, TimeSeries
+from ..sim.engine import Delay, Engine, Process
+from ..sim.network import Network
+
+
+@dataclass
+class WorkloadRecorder:
+    """Collects request outcomes for one workload run."""
+
+    success: RateWindow
+    latency: TimeSeries = field(default_factory=lambda: TimeSeries(name="latency"))
+    sent: int = 0
+    succeeded: int = 0
+    failed: int = 0
+
+    @classmethod
+    def with_bucket(cls, bucket_width: float) -> "WorkloadRecorder":
+        return cls(success=RateWindow(bucket_width))
+
+    def record(self, now: float, outcome: RequestOutcome) -> None:
+        self.success.record(now, outcome.ok)
+        if outcome.ok:
+            self.succeeded += 1
+            self.latency.record(now, outcome.latency)
+        else:
+            self.failed += 1
+
+
+class ApplicationClient:
+    """One client instance in one region."""
+
+    def __init__(self, engine: Engine, network: Network,
+                 discovery: ServiceDiscovery, app_name: str,
+                 address: str, region: str,
+                 attempts: int = 3, rpc_timeout: float = 1.0,
+                 retry_backoff: float = 0.5) -> None:
+        self.engine = engine
+        self.network = network
+        self.app_name = app_name
+        self.address = address
+        self.region = region
+        network.register(address, region)
+        self.router = ServiceRouter(engine, network, address,
+                                    attempts=attempts, rpc_timeout=rpc_timeout,
+                                    retry_backoff=retry_backoff)
+        self._subscription = discovery.subscribe(app_name,
+                                                 self.router.on_map_update)
+
+    def close(self) -> None:
+        self._subscription.cancel()
+        if self.network.has_endpoint(self.address):
+            self.network.unregister(self.address)
+
+    # -- single requests --------------------------------------------------------
+
+    def request(self, key: int, payload: Any = None,
+                prefer_primary: bool = True) -> Process:
+        """Fire one request as a process; its result is a RequestOutcome."""
+        return self.engine.process(
+            self.router.request(key, payload, prefer_primary=prefer_primary))
+
+    # -- workloads ---------------------------------------------------------------
+
+    def run_workload(self, duration: float, rate: Callable[[float], float],
+                     key_fn: Callable[[random.Random], int],
+                     recorder: WorkloadRecorder,
+                     rng: Optional[random.Random] = None,
+                     payload: Any = None,
+                     payload_fn: Optional[Callable[[int], Any]] = None,
+                     prefer_primary: bool = True) -> Process:
+        """Open-loop Poisson request stream for ``duration`` seconds.
+
+        ``rate(t)`` gives the instantaneous requests/second (pass a
+        constant via ``lambda t: r``; diurnal curves for Fig 18/23 come
+        from ``repro.workloads.load``).  ``payload_fn(key)`` builds a
+        per-request payload; it wins over the static ``payload``.
+        """
+        rng = rng or random.Random(0)
+        end_time = self.engine.now + duration
+
+        def request_process(key: int) -> Generator[Any, Any, None]:
+            body = payload_fn(key) if payload_fn is not None else payload
+            outcome = yield from self.router.request(
+                key, body, prefer_primary=prefer_primary)
+            recorder.record(self.engine.now, outcome)
+
+        def generator() -> Generator[Any, Any, None]:
+            while self.engine.now < end_time:
+                current_rate = max(1e-9, rate(self.engine.now))
+                yield Delay(rng.expovariate(current_rate))
+                if self.engine.now >= end_time:
+                    break
+                recorder.sent += 1
+                self.engine.process(request_process(key_fn(rng)))
+
+        return self.engine.process(generator(), name=f"workload:{self.address}")
+
+
+def get_client(engine: Engine, network: Network, discovery: ServiceDiscovery,
+               app_name: str, region: str, address: Optional[str] = None,
+               **router_options: Any) -> ApplicationClient:
+    """The paper's client entry point, bound to our simulated substrate."""
+    if address is None:
+        address = f"client/{app_name}/{region}/{network.rpcs_sent}"
+    return ApplicationClient(engine, network, discovery, app_name,
+                             address, region, **router_options)

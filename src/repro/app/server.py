@@ -1,0 +1,263 @@
+"""The application server with the embedded SM library.
+
+One :class:`ApplicationServer` runs inside each container.  It implements
+the Figure 11 shard-lifecycle API (driven by the orchestrator over RPC),
+the §4.3 forwarding behaviour that makes graceful primary migration drop
+zero requests, the §3.2 ZooKeeper integration (ephemeral liveness node +
+assignment bootstrap), and per-shard load accounting for the §5
+load-balancing loop.
+
+Application authors supply only a :class:`~repro.app.interfaces.RequestHandler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cluster.container import Container
+from ..coordination.zookeeper import NodeExistsError, Session, ZooKeeper
+from ..core.shard_map import Role
+from ..core.spec import AppSpec
+from ..sim.engine import Engine, every
+from ..sim.network import AsyncReply, Network, NetworkError
+from .interfaces import NotOwnerError, RequestHandler
+
+SERVERS_PATH = "/sm/{app}/servers"
+ASSIGNMENTS_PATH = "/sm/{app}/assignments"
+
+
+class HostedState(str, Enum):
+    PREPARING = "preparing"    # §4.3 step 1: only forwarded requests
+    ACTIVE = "active"
+    FORWARDING = "forwarding"  # §4.3 step 2: everything goes to new owner
+
+
+@dataclass
+class HostedShard:
+    """One shard replica currently hosted by this server."""
+
+    shard_id: str
+    role: Role
+    state: HostedState
+    forward_to: Optional[str] = None
+    requests_served: int = 0
+    requests_forwarded: int = 0
+
+
+class ApplicationServer:
+    """Server-side of one container: SM library + application handler."""
+
+    def __init__(self, engine: Engine, network: Network, zookeeper: ZooKeeper,
+                 spec: AppSpec, container: Container, handler: RequestHandler,
+                 base_loads: Optional[Callable[[str], Dict[str, float]]] = None,
+                 drop_grace: float = 5.0,
+                 zk_heartbeat_interval: float = 2.0) -> None:
+        self.engine = engine
+        self.network = network
+        self.zookeeper = zookeeper
+        self.spec = spec
+        self.container = container
+        self.handler = handler
+        self.base_loads = base_loads
+        self.drop_grace = drop_grace
+        self.address = container.address
+        self.region = container.machine.region
+        self._shards: Dict[str, HostedShard] = {}
+        self._stopped = False
+        self._last_report_time = engine.now
+
+        self.endpoint = network.register(self.address, self.region)
+        self.endpoint.on("app.request", self._handle_app_request)
+        self.endpoint.on("sm.add_shard", self._rpc_add_shard)
+        self.endpoint.on("sm.drop_shard", self._rpc_drop_shard)
+        self.endpoint.on("sm.change_role", self._rpc_change_role)
+        self.endpoint.on("sm.prepare_add_shard", self._rpc_prepare_add_shard)
+        self.endpoint.on("sm.prepare_drop_shard", self._rpc_prepare_drop_shard)
+        self.endpoint.on("sm.report_load", self._rpc_report_load)
+        self.endpoint.on("sm.ping", lambda _payload: "pong")
+
+        # §3.2: SM-library-created ephemeral node for failure detection.
+        self.session: Session = zookeeper.create_session()
+        servers_root = SERVERS_PATH.format(app=spec.name)
+        self._liveness_path = f"{servers_root}/{self._zk_name()}"
+        try:
+            zookeeper.create(self._liveness_path,
+                             data={"address": self.address,
+                                   "region": self.region,
+                                   "machine": container.machine.machine_id},
+                             ephemeral=True, session=self.session,
+                             make_parents=True)
+        except NodeExistsError:
+            # Fast restart before the old session expired: take over.
+            zookeeper.delete(self._liveness_path)
+            zookeeper.create(self._liveness_path,
+                             data={"address": self.address,
+                                   "region": self.region,
+                                   "machine": container.machine.machine_id},
+                             ephemeral=True, session=self.session,
+                             make_parents=True)
+        self._stop_heartbeat = every(engine, zk_heartbeat_interval,
+                                     self._heartbeat)
+        self._bootstrap_from_zookeeper()
+
+    def _zk_name(self) -> str:
+        return self.address.replace("/", ":")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _heartbeat(self) -> None:
+        if not self._stopped and not self.session.expired:
+            self.session.heartbeat()
+
+    def _bootstrap_from_zookeeper(self) -> None:
+        """§3.2: read the shard assignment written by the orchestrator,
+        'without dependency on the SM control plane'."""
+        path = (ASSIGNMENTS_PATH.format(app=self.spec.name)
+                + f"/{self._zk_name()}")
+        if not self.zookeeper.exists(path):
+            return
+        assigned = self.zookeeper.get(path) or []
+        for entry in assigned:
+            shard_id = entry["shard_id"]
+            role = Role(entry["role"])
+            self._shards[shard_id] = HostedShard(
+                shard_id=shard_id, role=role, state=HostedState.ACTIVE)
+
+    def shutdown(self, graceful: bool) -> None:
+        """Tear down when the container stops.
+
+        Graceful stops close the ZooKeeper session so the orchestrator
+        learns instantly; crashes leave the session to expire (failure
+        detection takes the session timeout).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop_heartbeat()
+        self._shards.clear()
+        if self.network.has_endpoint(self.address):
+            self.network.unregister(self.address)
+        if graceful:
+            self.session.close()
+
+    # -- hosting state (used by tests and the orchestrator RPCs) --------------------
+
+    def hosted(self, shard_id: str) -> Optional[HostedShard]:
+        return self._shards.get(shard_id)
+
+    def hosted_shards(self) -> List[HostedShard]:
+        return list(self._shards.values())
+
+    # -- Figure 11 API over RPC -------------------------------------------------------
+
+    def _rpc_add_shard(self, payload: Dict[str, Any]) -> str:
+        shard_id = payload["shard_id"]
+        role = Role(payload["role"])
+        hosted = self._shards.get(shard_id)
+        if hosted is not None and hosted.state is HostedState.PREPARING:
+            # §4.3 step 3: the prepared target officially takes over.
+            hosted.state = HostedState.ACTIVE
+            hosted.role = role
+        else:
+            self._shards[shard_id] = HostedShard(
+                shard_id=shard_id, role=role, state=HostedState.ACTIVE)
+        return "ok"
+
+    def _rpc_drop_shard(self, payload: Dict[str, Any]) -> str:
+        shard_id = payload["shard_id"]
+        hosted = self._shards.get(shard_id)
+        if hosted is None:
+            return "ok"  # idempotent
+        if hosted.state is HostedState.FORWARDING:
+            # §4.3 step 5: keep forwarding until requests stop arriving,
+            # modelled as a fixed grace period, then drop.
+            self.engine.call_after(self.drop_grace,
+                                   lambda: self._shards.pop(shard_id, None))
+        else:
+            del self._shards[shard_id]
+        return "ok"
+
+    def _rpc_change_role(self, payload: Dict[str, Any]) -> str:
+        shard_id = payload["shard_id"]
+        new_role = Role(payload["new_role"])
+        hosted = self._shards.get(shard_id)
+        if hosted is None:
+            raise NotOwnerError(f"{self.address} does not host {shard_id}")
+        hosted.role = new_role
+        return "ok"
+
+    def _rpc_prepare_add_shard(self, payload: Dict[str, Any]) -> str:
+        shard_id = payload["shard_id"]
+        role = Role(payload["role"])
+        self._shards[shard_id] = HostedShard(
+            shard_id=shard_id, role=role, state=HostedState.PREPARING)
+        return "ok"
+
+    def _rpc_prepare_drop_shard(self, payload: Dict[str, Any]) -> str:
+        shard_id = payload["shard_id"]
+        new_owner = payload["new_owner"]
+        hosted = self._shards.get(shard_id)
+        if hosted is None:
+            raise NotOwnerError(f"{self.address} does not host {shard_id}")
+        hosted.state = HostedState.FORWARDING
+        hosted.forward_to = new_owner
+        return "ok"
+
+    def _rpc_report_load(self, _payload: Any) -> Dict[str, Dict[str, float]]:
+        """Per-shard load vector: measured request rate plus any
+        application-supplied static metrics (storage bytes, etc.)."""
+        elapsed = max(1e-9, self.engine.now - self._last_report_time)
+        self._last_report_time = self.engine.now
+        report: Dict[str, Dict[str, float]] = {}
+        for shard_id, hosted in self._shards.items():
+            load = {"request_rate": hosted.requests_served / elapsed,
+                    "shard_count": 1.0}
+            if self.base_loads is not None:
+                load.update(self.base_loads(shard_id))
+            report[shard_id] = load
+            hosted.requests_served = 0
+        return report
+
+    # -- client requests -----------------------------------------------------------------
+
+    def _handle_app_request(self, message: Dict[str, Any]) -> Any:
+        shard_id = message["shard_id"]
+        hosted = self._shards.get(shard_id)
+        if hosted is None:
+            raise NotOwnerError(f"{self.address} does not own {shard_id}")
+        if hosted.state is HostedState.PREPARING:
+            if not message.get("forwarded"):
+                # §4.3 step 1: "Pnew processes a primary-related request
+                # only if the request is forwarded from Pold."
+                raise NotOwnerError(
+                    f"{self.address} is preparing {shard_id}, not yet owner")
+            hosted.requests_served += 1
+            return self.handler(shard_id, message["payload"])
+        if hosted.state is HostedState.FORWARDING:
+            return self._forward(hosted, message)
+        hosted.requests_served += 1
+        return self.handler(shard_id, message["payload"])
+
+    def _forward(self, hosted: HostedShard, message: Dict[str, Any]) -> AsyncReply:
+        """§4.3 step 2: relay the request to the new owner, then relay the
+        response back — the client never sees the migration."""
+        if hosted.forward_to is None:
+            raise NetworkError(f"{self.address}: forwarding without a target")
+        hosted.requests_forwarded += 1
+        reply = AsyncReply()
+        forwarded = dict(message)
+        forwarded["forwarded"] = True
+        call = self.network.rpc(self.address, hosted.forward_to,
+                                "app.request", forwarded)
+
+        def on_done(_value: Any) -> None:
+            result = call.result
+            if result is not None and result.ok:
+                reply.complete(result.value)
+            else:
+                reply.fail(result.error if result else "forwarding failed")
+
+        call.done._add_waiter(on_done)
+        return reply

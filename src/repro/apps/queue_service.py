@@ -1,0 +1,92 @@
+"""An in-order message queue service (the Fig 18 production application).
+
+"Facebook's instant-messaging product uses a queue service to guarantee
+in-order message delivery to mobile devices.  The service is a
+primary-only SM application."  Each queue (keyed by device/user id) lives
+in exactly one shard; the primary serializes enqueues so per-queue order
+is total.  Sequence numbers let consumers (and our tests) verify that no
+message is delivered out of order.
+
+Operations:
+
+    {"op": "enqueue", "queue": q, "message": m}
+    {"op": "dequeue", "queue": q}
+    {"op": "depth",   "queue": q}
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Tuple
+
+from ..cluster.container import Container
+from ..core.spec import AppSpec
+
+
+@dataclass
+class _QueueState:
+    items: Deque[Tuple[int, Any]] = field(default_factory=deque)
+    next_seq: int = 0
+    delivered_seq: int = -1
+
+
+class QueueServiceApp:
+    """Builds per-container handlers for the queue service.
+
+    Queue state is *soft* (§2.4): it lives with the shard's current
+    primary.  A migration hands the shard id over but not the in-memory
+    deque — by design: the real service rebuilds from its persistent
+    backend; here the shared ``_queues`` table (keyed by queue, not by
+    server) plays the role of that backend so ordering survives moves.
+    """
+
+    def __init__(self, spec: AppSpec) -> None:
+        self.spec = spec
+        self._queues: Dict[int, _QueueState] = {}
+        self.enqueues = 0
+        self.dequeues = 0
+        self.order_violations = 0
+
+    def handler_factory(self, container: Container):
+        def handler(shard_id: str, request: Dict[str, Any]) -> Any:
+            return self._handle(shard_id, request or {})
+
+        return handler
+
+    def _state(self, queue: int) -> _QueueState:
+        state = self._queues.get(queue)
+        if state is None:
+            state = _QueueState()
+            self._queues[queue] = state
+        return state
+
+    def _handle(self, shard_id: str, request: Dict[str, Any]) -> Any:
+        op = request.get("op")
+        queue = request.get("queue")
+        if not isinstance(queue, int):
+            raise ValueError("queue id must be an int key")
+        shard = self.spec.shard(shard_id)
+        if queue not in shard.key_range:
+            raise ValueError(f"queue {queue} outside shard {shard_id}")
+        state = self._state(queue)
+        if op == "enqueue":
+            seq = state.next_seq
+            state.next_seq += 1
+            state.items.append((seq, request.get("message")))
+            self.enqueues += 1
+            return {"ok": True, "seq": seq}
+        if op == "dequeue":
+            if not state.items:
+                return {"ok": True, "empty": True}
+            seq, message = state.items.popleft()
+            # In-order delivery check: every delivered sequence number must
+            # be exactly the previous one plus one.
+            if seq != state.delivered_seq + 1:
+                self.order_violations += 1
+            state.delivered_seq = seq
+            self.dequeues += 1
+            return {"ok": True, "seq": seq, "message": message}
+        if op == "depth":
+            return {"ok": True, "depth": len(state.items)}
+        raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,6 @@
+"""Legacy sharding schemes used as baselines (§2.2.1)."""
+
+from .consistent_hashing import ConsistentHashRing
+from .static_sharding import ReshardingImpact, StaticSharding
+
+__all__ = ["ConsistentHashRing", "ReshardingImpact", "StaticSharding"]

@@ -1,0 +1,25 @@
+"""Coordination store (simulated ZooKeeper)."""
+
+from .zookeeper import (
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    Session,
+    SessionExpiredError,
+    WatchEvent,
+    WatchEventType,
+    ZkError,
+    ZooKeeper,
+)
+
+__all__ = [
+    "NoNodeError",
+    "NodeExistsError",
+    "NotEmptyError",
+    "Session",
+    "SessionExpiredError",
+    "WatchEvent",
+    "WatchEventType",
+    "ZkError",
+    "ZooKeeper",
+]

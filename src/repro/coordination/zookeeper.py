@@ -1,0 +1,264 @@
+"""A simulated ZooKeeper: znodes, ephemeral nodes, sessions, watches.
+
+§3.2 gives ZooKeeper three jobs in the SM ecosystem:
+
+1. store the orchestrator's persistent state;
+2. let an application server read its shard assignment at start-up without
+   depending on the SM control plane;
+3. detect application-server failures via SM-library-created ephemeral
+   nodes that the orchestrator watches.
+
+This in-process implementation supports exactly those uses: a hierarchical
+namespace of znodes, per-client sessions whose expiry deletes their
+ephemeral nodes after a session timeout, and one-shot watches on node
+creation/deletion/data changes (ZooKeeper watches are one-shot; re-arm
+after every fire, as real clients do).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.engine import Engine, EventHandle
+
+
+class ZkError(RuntimeError):
+    """Base class for coordination-store errors."""
+
+
+class NoNodeError(ZkError):
+    pass
+
+
+class NodeExistsError(ZkError):
+    pass
+
+
+class NotEmptyError(ZkError):
+    pass
+
+
+class SessionExpiredError(ZkError):
+    pass
+
+
+class WatchEventType(str, Enum):
+    CREATED = "created"
+    DELETED = "deleted"
+    DATA_CHANGED = "data_changed"
+    CHILD_ADDED = "child_added"
+    CHILD_REMOVED = "child_removed"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    type: WatchEventType
+    path: str
+
+
+WatchCallback = Callable[[WatchEvent], None]
+
+
+@dataclass
+class _Znode:
+    path: str
+    data: Any
+    ephemeral_session: Optional[int] = None
+    version: int = 0
+    children: Dict[str, "_Znode"] = field(default_factory=dict)
+
+
+class Session:
+    """A client session; heartbeats keep it alive, silence expires it."""
+
+    def __init__(self, store: "ZooKeeper", session_id: int, timeout: float) -> None:
+        self._store = store
+        self.session_id = session_id
+        self.timeout = timeout
+        self.expired = False
+        self._expiry_handle: Optional[EventHandle] = None
+        self._arm_expiry()
+
+    def _arm_expiry(self) -> None:
+        if self._expiry_handle is not None:
+            self._expiry_handle.cancel()
+        self._expiry_handle = self._store.engine.call_after(
+            self.timeout, self._expire)
+
+    def heartbeat(self) -> None:
+        """Reset the expiry clock.  Call periodically while alive."""
+        if self.expired:
+            raise SessionExpiredError(f"session {self.session_id} expired")
+        self._arm_expiry()
+
+    def close(self) -> None:
+        """Graceful close: ephemerals vanish immediately."""
+        if not self.expired:
+            self._expire()
+
+    def _expire(self) -> None:
+        if self.expired:
+            return
+        self.expired = True
+        if self._expiry_handle is not None:
+            self._expiry_handle.cancel()
+        self._store._session_expired(self.session_id)
+
+
+class ZooKeeper:
+    """The coordination store.  All operations are synchronous in simulated
+    time (a real ZK quorum round-trip is microscopic next to the
+    shard-management timescales we simulate)."""
+
+    def __init__(self, engine: Engine, default_session_timeout: float = 10.0) -> None:
+        self.engine = engine
+        self.default_session_timeout = default_session_timeout
+        self._root = _Znode(path="/", data=None)
+        self._session_counter = itertools.count(1)
+        self._sessions: Dict[int, Session] = {}
+        self._watches: Dict[str, List[WatchCallback]] = {}
+        self._child_watches: Dict[str, List[WatchCallback]] = {}
+
+    # -- sessions -------------------------------------------------------------
+
+    def create_session(self, timeout: Optional[float] = None) -> Session:
+        session = Session(self, next(self._session_counter),
+                          timeout or self.default_session_timeout)
+        self._sessions[session.session_id] = session
+        return session
+
+    def _session_expired(self, session_id: int) -> None:
+        self._sessions.pop(session_id, None)
+        for path in self._ephemeral_paths(self._root, session_id):
+            self.delete(path)
+
+    def _ephemeral_paths(self, node: _Znode, session_id: int) -> List[str]:
+        found = []
+        for child in node.children.values():
+            if child.ephemeral_session == session_id:
+                found.append(child.path)
+            found.extend(self._ephemeral_paths(child, session_id))
+        return found
+
+    # -- namespace helpers ------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise ZkError(f"path must be absolute, got {path!r}")
+        return [part for part in path.split("/") if part]
+
+    def _find(self, path: str) -> Optional[_Znode]:
+        node = self._root
+        for part in self._split(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _require(self, path: str) -> _Znode:
+        node = self._find(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node
+
+    @staticmethod
+    def _parent_path(path: str) -> str:
+        parts = path.rstrip("/").rsplit("/", 1)
+        return parts[0] or "/"
+
+    # -- data operations ----------------------------------------------------------
+
+    def create(self, path: str, data: Any = None, ephemeral: bool = False,
+               session: Optional[Session] = None, make_parents: bool = False) -> str:
+        """Create a znode.  Ephemeral nodes require a live session."""
+        if ephemeral and (session is None or session.expired):
+            raise SessionExpiredError("ephemeral create needs a live session")
+        parts = self._split(path)
+        if not parts:
+            raise ZkError("cannot create the root")
+        node = self._root
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                if not make_parents:
+                    raise NoNodeError("/" + "/".join(parts[:-1]))
+                child_path = (node.path.rstrip("/") + "/" + part)
+                child = _Znode(path=child_path, data=None)
+                node.children[part] = child
+                self._fire(node.path, WatchEventType.CHILD_ADDED, child_path)
+            node = child
+        name = parts[-1]
+        if name in node.children:
+            raise NodeExistsError(path)
+        child = _Znode(
+            path=path,
+            data=data,
+            ephemeral_session=session.session_id if ephemeral else None,
+        )
+        node.children[name] = child
+        self._fire(path, WatchEventType.CREATED, path)
+        self._fire(node.path, WatchEventType.CHILD_ADDED, path)
+        return path
+
+    def exists(self, path: str, watch: Optional[WatchCallback] = None) -> bool:
+        if watch is not None:
+            self._watches.setdefault(path, []).append(watch)
+        return self._find(path) is not None
+
+    def get(self, path: str, watch: Optional[WatchCallback] = None) -> Any:
+        node = self._require(path)
+        if watch is not None:
+            self._watches.setdefault(path, []).append(watch)
+        return node.data
+
+    def version(self, path: str) -> int:
+        return self._require(path).version
+
+    def set(self, path: str, data: Any,
+            expected_version: Optional[int] = None) -> int:
+        """Write data; optional compare-and-set on the node version."""
+        node = self._require(path)
+        if expected_version is not None and node.version != expected_version:
+            raise ZkError(
+                f"version mismatch on {path}: have {node.version}, "
+                f"expected {expected_version}"
+            )
+        node.data = data
+        node.version += 1
+        self._fire(path, WatchEventType.DATA_CHANGED, path)
+        return node.version
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        parent = self._require(self._parent_path(path))
+        name = self._split(path)[-1]
+        node = parent.children.get(name)
+        if node is None:
+            raise NoNodeError(path)
+        if node.children and not recursive:
+            raise NotEmptyError(path)
+        del parent.children[name]
+        self._fire(path, WatchEventType.DELETED, path)
+        self._fire(parent.path, WatchEventType.CHILD_REMOVED, path)
+
+    def children(self, path: str, watch: Optional[WatchCallback] = None) -> List[str]:
+        node = self._require(path)
+        if watch is not None:
+            self._child_watches.setdefault(path, []).append(watch)
+        return sorted(node.children)
+
+    # -- watches ---------------------------------------------------------------
+
+    def _fire(self, watch_path: str, event_type: WatchEventType,
+              event_path: str) -> None:
+        if event_type in (WatchEventType.CHILD_ADDED, WatchEventType.CHILD_REMOVED):
+            callbacks = self._child_watches.pop(watch_path, [])
+        else:
+            callbacks = self._watches.pop(watch_path, [])
+        event = WatchEvent(type=event_type, path=event_path)
+        for callback in callbacks:
+            # Deliver asynchronously, as real ZooKeeper does.
+            self.engine.call_after(0.0, lambda cb=callback: cb(event))

@@ -1,0 +1,248 @@
+"""SM's scale-out global control plane (§6.1, Figure 14).
+
+"We divide SM's control plane into multiple mini-SMs so that each mini-SM
+manages a subset of servers and shards. ... We divide a large application
+into non-overlapping partitions, where each partition typically comprises
+thousands of servers and hundreds of thousands of shard replicas. ...
+The replicas of a shard are always placed on servers that belong to the
+same partition."
+
+This module implements the registries and the partitioning/assignment
+logic: the :class:`ApplicationManager` splits an app spec into partition
+specs, the :class:`PartitionRegistry` bin-packs partitions onto mini-SMs,
+and :class:`MiniSM` hosts any number of partitions, each backed by its
+own :class:`~repro.core.orchestrator.Orchestrator` when run live.  The
+:class:`Frontend` is the stateless global entry point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .orchestrator import Orchestrator
+from .spec import AppSpec, ShardSpec
+
+
+@dataclass
+class Partition:
+    """One non-overlapping slice of an application."""
+
+    partition_id: str
+    app_name: str
+    spec: AppSpec               # a sub-spec containing only this slice's shards
+    server_count: int = 0       # servers contributed to this partition
+    orchestrator: Optional[Orchestrator] = None
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.spec.shards)
+
+    @property
+    def replica_count(self) -> int:
+        return self.spec.total_replicas()
+
+
+class ApplicationManager:
+    """Maps an application to one or more partitions (Figure 14).
+
+    "An application manager usually maps an application to one partition,
+    but may divide a large application into multiple partitions."
+    """
+
+    def __init__(self, max_replicas_per_partition: int = 200_000) -> None:
+        if max_replicas_per_partition <= 0:
+            raise ValueError("partition capacity must be positive")
+        self.max_replicas_per_partition = max_replicas_per_partition
+
+    def partition_app(self, spec: AppSpec,
+                      server_count: int) -> List[Partition]:
+        """Split by contiguous shard ranges so each partition stays under
+        the replica budget; servers are split proportionally."""
+        total_replicas = spec.total_replicas()
+        partition_count = max(
+            1, -(-total_replicas // self.max_replicas_per_partition))
+        shards_sorted = sorted(spec.shards, key=lambda s: s.key_range.low)
+        partitions: List[Partition] = []
+        per_partition = -(-len(shards_sorted) // partition_count)
+        for index in range(partition_count):
+            subset = shards_sorted[index * per_partition:
+                                   (index + 1) * per_partition]
+            if not subset:
+                continue
+            sub_spec = AppSpec(
+                name=f"{spec.name}.p{index}",
+                shards=list(subset),
+                replication=spec.replication,
+                mode=spec.mode,
+                lb_policy=spec.lb_policy,
+                lb_metrics=spec.lb_metrics,
+                drain_policy=spec.drain_policy,
+                max_concurrent_container_ops=spec.max_concurrent_container_ops,
+                max_unavailable_replicas_per_shard=(
+                    spec.max_unavailable_replicas_per_shard),
+                utilization_threshold=spec.utilization_threshold,
+                balance_band=spec.balance_band,
+                spread_levels=spec.spread_levels,
+                needs_storage=spec.needs_storage,
+            )
+            partitions.append(Partition(
+                partition_id=f"{spec.name}/p{index}",
+                app_name=spec.name,
+                spec=sub_spec,
+            ))
+        # Distribute servers proportionally to replica share.
+        remaining = server_count
+        for index, partition in enumerate(partitions):
+            if index == len(partitions) - 1:
+                partition.server_count = remaining
+            else:
+                share = round(server_count * partition.replica_count
+                              / max(1, total_replicas))
+                partition.server_count = share
+                remaining -= share
+        return partitions
+
+
+@dataclass(frozen=True)
+class PartitionFootprint:
+    """Partition bookkeeping without a full AppSpec.
+
+    The Fig 16 scale experiment partitions a synthetic fleet with millions
+    of shards; building real specs for those would be wasteful.  Any
+    object with these four fields (including :class:`Partition`) can be
+    assigned by the :class:`PartitionRegistry`.
+    """
+
+    partition_id: str
+    server_count: int
+    shard_count: int
+    replica_count: int
+
+
+def plan_partition_footprints(app_name: str, servers: int, shards: int,
+                              replicas_per_shard: int = 1,
+                              max_replicas_per_partition: int = 200_000
+                              ) -> List[PartitionFootprint]:
+    """Numerically split an app into partition footprints (§6.1 sizing:
+    "each partition typically comprises thousands of servers and hundreds
+    of thousands of shard replicas")."""
+    total_replicas = shards * replicas_per_shard
+    partition_count = max(1, -(-total_replicas // max_replicas_per_partition))
+    footprints = []
+    for index in range(partition_count):
+        share = lambda total: (total // partition_count
+                               + (1 if index < total % partition_count else 0))
+        footprints.append(PartitionFootprint(
+            partition_id=f"{app_name}/p{index}",
+            server_count=share(servers),
+            shard_count=share(shards),
+            replica_count=share(total_replicas),
+        ))
+    return footprints
+
+
+@dataclass
+class MiniSM:
+    """One control-plane shard: manages some partitions."""
+
+    mini_sm_id: str
+    partitions: List[Partition] = field(default_factory=list)
+
+    @property
+    def server_count(self) -> int:
+        return sum(p.server_count for p in self.partitions)
+
+    @property
+    def shard_count(self) -> int:
+        return sum(p.shard_count for p in self.partitions)
+
+    @property
+    def replica_count(self) -> int:
+        return sum(p.replica_count for p in self.partitions)
+
+
+class PartitionRegistry:
+    """Assigns partitions to mini-SMs (least-loaded by replica count),
+    growing the mini-SM pool when every one is at capacity."""
+
+    def __init__(self, replicas_per_mini_sm: int = 1_500_000) -> None:
+        self.replicas_per_mini_sm = replicas_per_mini_sm
+        self.mini_sms: List[MiniSM] = []
+        self._counter = itertools.count()
+        self._by_partition: Dict[str, MiniSM] = {}
+
+    def _new_mini_sm(self) -> MiniSM:
+        mini_sm = MiniSM(mini_sm_id=f"mini-sm-{next(self._counter)}")
+        self.mini_sms.append(mini_sm)
+        return mini_sm
+
+    def assign(self, partition: Partition) -> MiniSM:
+        candidates = [m for m in self.mini_sms
+                      if m.replica_count + partition.replica_count
+                      <= self.replicas_per_mini_sm]
+        if candidates:
+            target = min(candidates, key=lambda m: m.replica_count)
+        else:
+            target = self._new_mini_sm()
+        target.partitions.append(partition)
+        self._by_partition[partition.partition_id] = target
+        return target
+
+    def lookup(self, partition_id: str) -> MiniSM:
+        try:
+            return self._by_partition[partition_id]
+        except KeyError:
+            raise KeyError(f"unassigned partition {partition_id!r}") from None
+
+
+class ApplicationRegistry:
+    """App name → its partitions (Figure 14's application registry)."""
+
+    def __init__(self) -> None:
+        self._apps: Dict[str, List[Partition]] = {}
+
+    def register(self, app_name: str, partitions: Sequence[Partition]) -> None:
+        if app_name in self._apps:
+            raise ValueError(f"app {app_name!r} already registered")
+        self._apps[app_name] = list(partitions)
+
+    def partitions_of(self, app_name: str) -> List[Partition]:
+        try:
+            return list(self._apps[app_name])
+        except KeyError:
+            raise KeyError(f"unknown app {app_name!r}") from None
+
+    def apps(self) -> List[str]:
+        return sorted(self._apps)
+
+
+class Frontend:
+    """Stateless global entry point (Figure 14): app → partition → mini-SM."""
+
+    def __init__(self, app_registry: ApplicationRegistry,
+                 partition_registry: PartitionRegistry) -> None:
+        self.app_registry = app_registry
+        self.partition_registry = partition_registry
+
+    def route(self, app_name: str, shard_id: str) -> MiniSM:
+        """Which mini-SM manages this shard."""
+        for partition in self.app_registry.partitions_of(app_name):
+            try:
+                partition.spec.shard(shard_id)
+            except KeyError:
+                continue
+            return self.partition_registry.lookup(partition.partition_id)
+        raise KeyError(f"{app_name}: shard {shard_id!r} not in any partition")
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Read-service style summary of the whole control plane."""
+        return [
+            {"mini_sm": mini_sm.mini_sm_id,
+             "partitions": len(mini_sm.partitions),
+             "servers": mini_sm.server_count,
+             "shards": mini_sm.shard_count,
+             "replicas": mini_sm.replica_count}
+            for mini_sm in self.partition_registry.mini_sms
+        ]

@@ -1,0 +1,525 @@
+"""The SM orchestrator (§3.2): the brain of one application partition.
+
+Responsibilities, each mapped to the paper:
+
+* watch SM-library-created ephemeral ZooKeeper nodes to detect
+  application-server joins and failures (§3.2);
+* collect per-shard load from application servers by direct RPC (§3.2);
+* run the allocator in emergency mode when shards are unavailable and in
+  periodic mode on a timer (§5.1), executing the resulting plan through
+  the :class:`~repro.core.migration.MigrationExecutor`;
+* publish versioned shard maps through service discovery and mirror
+  per-server assignments into ZooKeeper for §3.2's bootstrap path;
+* expose drain / undrain / expect-restart hooks used by SM's
+  TaskController to gracefully handle planned events (§4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..cluster.topology import Topology
+from ..coordination.zookeeper import WatchEvent, ZooKeeper
+from ..discovery.service_discovery import ServiceDiscovery
+from ..metrics.timeseries import Counter
+from ..sim.engine import Delay, Engine, Process, Signal, Wait, every
+from ..sim.network import Network
+from ..solver.local_search import OPTIMIZED, SearchConfig
+from .allocator import (
+    Allocator,
+    AllocationPlan,
+    CreateReplica,
+    MoveReplica,
+    PromoteReplica,
+    ServerRecord,
+)
+from .migration import MigrationExecutor
+from .shard_map import AssignmentTable, ReplicaAssignment, ReplicaState, Role
+from .spec import AppSpec
+
+SERVERS_PATH = "/sm/{app}/servers"
+ASSIGNMENTS_PATH = "/sm/{app}/assignments"
+STATE_PATH = "/sm/{app}/state"
+
+
+@dataclass
+class OrchestratorConfig:
+    """Timing and behaviour knobs."""
+
+    control_region: str = "FRC"
+    load_poll_interval: float = 10.0
+    rebalance_interval: float = 30.0
+    publish_min_interval: float = 0.25
+    emergency_check_interval: float = 5.0
+    failover_grace: float = 30.0
+    rpc_timeout: float = 1.0
+    graceful_migration: bool = True   # Fig 17 ablation arm sets False
+    max_concurrent_migrations: int = 16
+    drain_concurrency: int = 4
+    drain_pacing: float = 0.0         # extra seconds between drain migrations
+    rebalance_enabled: bool = True
+    max_moves_per_round: int = 64
+    search_config: SearchConfig = field(
+        default_factory=lambda: SearchConfig(time_budget=5.0))
+
+
+class Orchestrator:
+    """Control plane for one application (one partition of one app)."""
+
+    def __init__(self, engine: Engine, network: Network, zookeeper: ZooKeeper,
+                 discovery: ServiceDiscovery, spec: AppSpec,
+                 topology: Topology,
+                 config: Optional[OrchestratorConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.engine = engine
+        self.network = network
+        self.zookeeper = zookeeper
+        self.discovery = discovery
+        self.spec = spec
+        self.topology = topology
+        self.config = config or OrchestratorConfig()
+        self.rng = rng or random.Random(0)
+
+        self.address = f"sm/{spec.name}/orchestrator"
+        self.endpoint = network.register(self.address,
+                                         self.config.control_region)
+        self.table = AssignmentTable(spec)
+        self.servers: Dict[str, ServerRecord] = {}
+        self.allocator = Allocator(spec, self.config.search_config, self.rng,
+                                   max_moves_per_round=self.config.max_moves_per_round)
+        self.move_counter = Counter(name=f"{spec.name}/shard_moves")
+        self.executor = MigrationExecutor(
+            engine, network, self.address, self.table,
+            publish=self._mark_dirty,
+            rpc_timeout=self.config.rpc_timeout,
+            move_report=lambda count: self.move_counter.add(engine.now, count),
+        )
+        self._shard_loads_by_address: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._dirty = False
+        self._publish_scheduled = False
+        # (time, violations seen, moves planned) per rebalance — the
+        # instrumentation behind Fig 23's "violations" curve.
+        self.rebalance_history: List[Tuple[float, int, int]] = []
+        self._emergency_running = False
+        self._rebalance_running = False
+        self._active_migrations = 0
+        self._stoppers: List = []
+        self._started = False
+        self._servers_root = SERVERS_PATH.format(app=spec.name)
+        self._assignments_root = ASSIGNMENTS_PATH.format(app=spec.name)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin watching servers and running the control loops.
+
+        If a previous incarnation of this orchestrator persisted state in
+        ZooKeeper (§3.2/§6.2: the control plane is stateful with
+        primary-secondary failover), the assignment table is restored
+        before anything else — a new control-plane replica takes over
+        without reshuffling a single shard.
+        """
+        if self._started:
+            raise RuntimeError("orchestrator already started")
+        self._started = True
+        for path in (self._servers_root, self._assignments_root):
+            if not self.zookeeper.exists(path):
+                self.zookeeper.create(path, make_parents=True)
+        self._restore_state()
+        self._scan_servers()
+        self._watch_servers()
+        self._stoppers.append(every(
+            self.engine, self.config.emergency_check_interval,
+            self._emergency_tick))
+        self._stoppers.append(every(
+            self.engine, self.config.load_poll_interval, self._poll_loads))
+        if self.config.rebalance_enabled:
+            self._stoppers.append(every(
+                self.engine, self.config.rebalance_interval,
+                self._rebalance_tick))
+        self._mark_dirty()
+
+    def stop(self) -> None:
+        """Stop control loops and release the endpoint (so a successor
+        control-plane replica can register the same address)."""
+        for stopper in self._stoppers:
+            stopper()
+        self._stoppers.clear()
+        self._started = False
+        if self.network.has_endpoint(self.address):
+            self.network.unregister(self.address)
+
+    def _restore_state(self) -> None:
+        """Rebuild the assignment table from the §3.2 persistent state."""
+        path = STATE_PATH.format(app=self.spec.name)
+        if not self.zookeeper.exists(path):
+            return
+        if self.table.all_replicas():
+            return  # fresh-deploy path already populated the table
+        data = self.zookeeper.get(path) or {}
+        self.table.resume_versions_from(int(data.get("version", 0)))
+        for entry in data.get("replicas", []):
+            state = ReplicaState(entry["state"])
+            if state in (ReplicaState.DROPPED, ReplicaState.DRAINING):
+                continue  # mid-flight migrations restart from scratch
+            self.table.add(entry["shard_id"], entry["address"],
+                           Role(entry["role"]), state=state)
+
+    # -- server membership (ZooKeeper ephemerals, §3.2) -----------------------------
+
+    @staticmethod
+    def _decode_node(name: str) -> str:
+        return name.replace(":", "/")
+
+    def _scan_servers(self) -> None:
+        for name in self.zookeeper.children(self._servers_root):
+            self._server_up(self._decode_node(name),
+                            self.zookeeper.get(f"{self._servers_root}/{name}"))
+
+    def _watch_servers(self) -> None:
+        def on_children_change(_event: WatchEvent) -> None:
+            if not self._started:
+                return
+            current = {self._decode_node(name)
+                       for name in self.zookeeper.children(self._servers_root)}
+            known_alive = {address for address, record in self.servers.items()
+                           if record.alive}
+            # Sorted iteration: set order depends on the process hash seed,
+            # and server-insertion order feeds placement tie-breaking.
+            for address in sorted(current - known_alive):
+                name = address.replace("/", ":")
+                self._server_up(address,
+                                self.zookeeper.get(
+                                    f"{self._servers_root}/{name}"))
+            for address in sorted(known_alive - current):
+                self._server_down(address)
+            self._watch_servers()  # ZooKeeper watches are one-shot; re-arm
+
+        self.zookeeper.children(self._servers_root, watch=on_children_change)
+
+    def _server_up(self, address: str, node_data: Dict[str, Any]) -> None:
+        machine = self.topology.get(node_data["machine"])
+        record = self.servers.get(address)
+        if record is None:
+            self.servers[address] = ServerRecord(address=address,
+                                                 machine=machine)
+        else:
+            record.alive = True
+            record.machine = machine
+        # The server bootstrapped its shards from ZooKeeper; make them
+        # routable again.
+        self._mark_dirty()
+
+    def _server_down(self, address: str) -> None:
+        record = self.servers.get(address)
+        if record is None:
+            return
+        record.alive = False
+        self._mark_dirty()
+        grace = self.config.failover_grace
+        down_since = self.engine.now
+
+        def failover_check() -> None:
+            current = self.servers.get(address)
+            if current is None or current.alive:
+                return  # came back (e.g. quick restart): nothing to do
+            if self.engine.now < current.expected_down_until:
+                # A planned restart the TaskController told us about;
+                # re-check when the window closes.
+                self.engine.call_at(current.expected_down_until + 1.0,
+                                    failover_check)
+                return
+            self._failover_address(address)
+
+        self.engine.call_after(grace, failover_check)
+
+    def _failover_address(self, address: str) -> None:
+        """The server is gone for good: its replicas are lost; recreate
+        them elsewhere ("the unused capacity of the application's running
+        containers serves as cold standbys", §2.2.3)."""
+        for replica in self.table.on_address(address):
+            self.table.drop(replica.replica_id)
+        self._write_assignments(address)
+        self._mark_dirty()
+        self._emergency_tick()
+
+    def down_addresses(self) -> Set[str]:
+        return {address for address, record in self.servers.items()
+                if not record.alive}
+
+    # -- shard-map publication -------------------------------------------------------
+
+    def _mark_dirty(self) -> None:
+        self._dirty = True
+        if not self._publish_scheduled:
+            self._publish_scheduled = True
+            self.engine.call_after(self.config.publish_min_interval,
+                                   self._flush_publish)
+
+    def _flush_publish(self) -> None:
+        self._publish_scheduled = False
+        if not self._dirty:
+            return
+        self._dirty = False
+        self.discovery.publish(self.table.snapshot())
+        self._write_all_assignments()
+        self._persist_state()
+
+    def _write_assignments(self, address: str) -> None:
+        name = address.replace("/", ":")
+        path = f"{self._assignments_root}/{name}"
+        data = [{"shard_id": r.shard_id, "role": r.role.value}
+                for r in self.table.on_address(address)
+                if r.state in (ReplicaState.READY, ReplicaState.PENDING)]
+        if self.zookeeper.exists(path):
+            self.zookeeper.set(path, data)
+        else:
+            self.zookeeper.create(path, data, make_parents=True)
+
+    def _write_all_assignments(self) -> None:
+        for address in set(self.table.addresses()) | set(self.servers):
+            self._write_assignments(address)
+
+    def _persist_state(self) -> None:
+        """Orchestrator persistent state lives in ZooKeeper (§3.2)."""
+        path = STATE_PATH.format(app=self.spec.name)
+        data = {
+            "version": self.table.last_version,
+            "replicas": [
+                {"replica_id": r.replica_id, "shard_id": r.shard_id,
+                 "address": r.address, "role": r.role.value,
+                 "state": r.state.value}
+                for r in self.table.all_replicas()
+            ],
+        }
+        if self.zookeeper.exists(path):
+            self.zookeeper.set(path, data)
+        else:
+            self.zookeeper.create(path, data, make_parents=True)
+
+    # -- load collection (§3.2, §5) ------------------------------------------------------
+
+    def _poll_loads(self) -> None:
+        for address, record in self.servers.items():
+            if not record.alive:
+                continue
+            call = self.network.rpc(self.address, address, "sm.report_load",
+                                    None, timeout=self.config.rpc_timeout)
+
+            def on_done(_value: Any, addr: str = address, c=call) -> None:
+                result = c.result
+                if result is None or not result.ok:
+                    return
+                record_inner = self.servers.get(addr)
+                if record_inner is not None:
+                    record_inner_loads = result.value or {}
+                    self._shard_loads_by_address[addr] = record_inner_loads
+
+            call.done._add_waiter(on_done)
+
+    def load_of(self, replica: ReplicaAssignment) -> Tuple[float, ...]:
+        """Replica load vector aligned with the spec's LB metrics."""
+        report = self._shard_loads_by_address.get(replica.address, {})
+        shard_report = report.get(replica.shard_id, {})
+        values = []
+        for metric in self.spec.lb_metrics:
+            if metric == "shard_count":
+                values.append(1.0)
+            else:
+                values.append(float(shard_report.get(metric, 0.0)))
+        return tuple(values)
+
+    # -- emergency placement ---------------------------------------------------------------
+
+    def _emergency_tick(self) -> None:
+        if self._emergency_running:
+            return
+        plan = self.allocator.emergency_plan(self.table, self.servers,
+                                             self.engine.now)
+        if plan.empty:
+            return
+        self._emergency_running = True
+        self.engine.process(self._execute_emergency(plan),
+                            name=f"{self.spec.name}/emergency")
+
+    def _execute_emergency(self, plan: AllocationPlan
+                           ) -> Generator[Any, Any, None]:
+        try:
+            for promote in plan.promotes:
+                try:
+                    replica = self.table.get(promote.replica_id)
+                except KeyError:
+                    continue
+                yield from self.executor.promote(replica)
+            workers = []
+            queue = list(plan.creates)
+
+            def worker() -> Generator[Any, Any, None]:
+                while queue:
+                    create = queue.pop()
+                    yield from self.executor.create_replica(
+                        create.shard_id, create.address, create.role)
+
+            for _ in range(min(self.config.max_concurrent_migrations,
+                               max(1, len(queue)))):
+                workers.append(self.engine.process(worker()))
+            for process in workers:
+                yield process
+        finally:
+            self._emergency_running = False
+
+    # -- periodic rebalancing (§5) --------------------------------------------------------------
+
+    def _rebalance_tick(self) -> None:
+        if self._rebalance_running or self._emergency_running:
+            return
+        plan = self.allocator.periodic_plan(self.table, self.servers,
+                                            self.engine.now, self.load_of)
+        if plan.solve_result is not None:
+            self.rebalance_history.append(
+                (self.engine.now, plan.solve_result.initial_violations,
+                 len(plan.moves)))
+        if not plan.moves:
+            return
+        self._rebalance_running = True
+        self.engine.process(self._execute_moves(list(plan.moves)),
+                            name=f"{self.spec.name}/rebalance")
+
+    def _execute_moves(self, moves: List[MoveReplica]
+                       ) -> Generator[Any, Any, None]:
+        try:
+            queue = list(moves)
+
+            def worker() -> Generator[Any, Any, None]:
+                while queue:
+                    move = queue.pop()
+                    yield from self._execute_one_move(move)
+
+            workers = [self.engine.process(worker())
+                       for _ in range(min(self.config.max_concurrent_migrations,
+                                          max(1, len(queue))))]
+            for process in workers:
+                yield process
+        finally:
+            self._rebalance_running = False
+
+    def _execute_one_move(self, move: MoveReplica
+                          ) -> Generator[Any, Any, bool]:
+        try:
+            replica = self.table.get(move.replica_id)
+        except KeyError:
+            return False  # dropped since planning
+        if replica.address != move.from_address:
+            return False  # moved since planning
+        target_record = self.servers.get(move.to_address)
+        if target_record is None or not target_record.usable(self.engine.now):
+            return False
+        if replica.role is Role.PRIMARY:
+            if self.config.graceful_migration:
+                ok = yield from self.executor.graceful_primary_migration(
+                    replica, move.to_address)
+            else:
+                ok = yield from self.executor.abrupt_primary_migration(
+                    replica, move.to_address)
+        else:
+            ok = yield from self.executor.move_secondary(
+                replica, move.to_address)
+        return ok
+
+    # -- drains (called by SM's TaskController, §4.1) -------------------------------------------
+
+    def drain_address(self, address: str) -> Process:
+        """Move replicas off a container ahead of a planned event.
+
+        Which roles move is the app's drain policy (§2.2.5).  Returns a
+        process whose completion means the container is safe to restart.
+        """
+        record = self.servers.get(address)
+        if record is not None:
+            record.draining = True
+
+        def drain() -> Generator[Any, Any, int]:
+            moved = 0
+            policy = self.spec.drain_policy
+            replicas = [r for r in self.table.on_address(address)
+                        if r.state is ReplicaState.READY
+                        and policy.drains(r.role)]
+            queue = list(replicas)
+
+            def worker() -> Generator[Any, Any, None]:
+                nonlocal moved
+                while queue:
+                    replica = queue.pop()
+                    target = self._pick_drain_target(replica)
+                    if target is None:
+                        continue
+                    if replica.role is Role.PRIMARY:
+                        if self.config.graceful_migration:
+                            ok = yield from self.executor.graceful_primary_migration(
+                                replica, target)
+                        else:
+                            ok = yield from self.executor.abrupt_primary_migration(
+                                replica, target)
+                    else:
+                        ok = yield from self.executor.move_secondary(
+                            replica, target)
+                    if ok:
+                        moved += 1
+                    if self.config.drain_pacing:
+                        yield Delay(self.config.drain_pacing)
+
+            workers = [self.engine.process(worker())
+                       for _ in range(max(1, self.config.drain_concurrency))]
+            for process in workers:
+                yield process
+            return moved
+
+        return self.engine.process(drain(), name=f"drain:{address}")
+
+    def _pick_drain_target(self, replica: ReplicaAssignment) -> Optional[str]:
+        shard = self.spec.shard(replica.shard_id)
+        existing = {r.address for r in self.table.replicas_of(replica.shard_id)}
+        existing_regions = {self.servers[a].machine.region
+                            for a in existing if a in self.servers}
+        candidates = sorted(
+            (record for record in self.servers.values()
+             if record.usable(self.engine.now)
+             and record.address not in existing),
+            key=lambda record: record.address)
+        if not candidates:
+            return None
+
+        def rank(record: ServerRecord) -> Tuple:
+            return (
+                0 if (shard.preferred_region is not None
+                      and record.machine.region == shard.preferred_region) else 1,
+                0 if record.machine.region not in existing_regions else 1,
+                len(self.table.on_address(record.address)),
+                self.rng.random(),
+            )
+
+        return min(candidates, key=rank).address
+
+    def undrain_address(self, address: str) -> None:
+        record = self.servers.get(address)
+        if record is not None:
+            record.draining = False
+
+    def expect_restart(self, address: str, duration: float) -> None:
+        """A planned restart is coming: suppress failover for its window."""
+        record = self.servers.get(address)
+        if record is not None:
+            record.expected_down_until = self.engine.now + duration
+
+    # -- queries used by the TaskController and experiments ------------------------------------------
+
+    def shards_on(self, address: str) -> List[str]:
+        return self.table.shards_on(address)
+
+    def unavailable_count(self, shard_id: str) -> int:
+        return self.table.unavailable_count(shard_id, self.down_addresses())
+
+    def replica_total(self) -> int:
+        return len(self.table.all_replicas())

@@ -1,0 +1,237 @@
+"""Authoritative shard-assignment state and the published shard map.
+
+The orchestrator owns an :class:`AssignmentTable` (which replica of which
+shard lives in which container, with what role and lifecycle state) and
+periodically publishes an immutable, versioned :class:`ShardMap` snapshot
+through the service discovery system; application clients route with the
+snapshot, never with the live table (§3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .spec import AppSpec, ShardSpec
+
+
+class Role(str, Enum):
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+class ReplicaState(str, Enum):
+    """Lifecycle of one replica assignment.
+
+    PENDING: decided by the allocator, add_shard not yet acknowledged.
+    PREPARING: prepare_add_shard acknowledged (migration target).
+    READY: serving.
+    DRAINING: prepare_drop_shard sent; forwarding to the new owner.
+    DROPPED: terminal.
+    """
+
+    PENDING = "pending"
+    PREPARING = "preparing"
+    READY = "ready"
+    DRAINING = "draining"
+    DROPPED = "dropped"
+
+
+@dataclass
+class ReplicaAssignment:
+    """One shard replica pinned to one container (identity semantics)."""
+
+    replica_id: str
+    shard_id: str
+    address: str  # container / application-server address
+    role: Role
+    state: ReplicaState = ReplicaState.PENDING
+
+    @property
+    def available(self) -> bool:
+        return self.state is ReplicaState.READY
+
+
+@dataclass(frozen=True)
+class ShardMapEntry:
+    """Published routing info for one shard."""
+
+    shard_id: str
+    key_low: int
+    key_high: int
+    primary: Optional[str]
+    secondaries: Tuple[str, ...]
+
+    def all_addresses(self) -> Tuple[str, ...]:
+        if self.primary is None:
+            return self.secondaries
+        return (self.primary,) + self.secondaries
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Immutable versioned snapshot disseminated to clients."""
+
+    app: str
+    version: int
+    entries: Tuple[ShardMapEntry, ...]
+
+    def entry(self, shard_id: str) -> ShardMapEntry:
+        for entry in self.entries:
+            if entry.shard_id == shard_id:
+                return entry
+        raise KeyError(f"shard {shard_id!r} not in map v{self.version}")
+
+
+class AssignmentTable:
+    """The orchestrator's mutable, authoritative assignment state."""
+
+    def __init__(self, spec: AppSpec) -> None:
+        self.spec = spec
+        self._replicas: Dict[str, ReplicaAssignment] = {}
+        self._by_shard: Dict[str, List[ReplicaAssignment]] = {
+            shard.shard_id: [] for shard in spec.shards}
+        self._by_address: Dict[str, List[ReplicaAssignment]] = {}
+        self._version = itertools.count(1)
+        self.last_version = 0
+        self._replica_counter = itertools.count()
+
+    def resume_versions_from(self, version: int) -> None:
+        """Continue version numbering after a control-plane failover so
+        published maps stay monotonic for subscribers."""
+        self._version = itertools.count(version + 1)
+        self.last_version = version
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, shard_id: str, address: str, role: Role,
+            state: ReplicaState = ReplicaState.PENDING) -> ReplicaAssignment:
+        if shard_id not in self._by_shard:
+            raise KeyError(f"unknown shard {shard_id!r}")
+        if role is Role.PRIMARY and self.primary_of(shard_id) is not None:
+            raise ValueError(f"shard {shard_id} already has a primary")
+        replica = ReplicaAssignment(
+            replica_id=f"{shard_id}#{next(self._replica_counter)}",
+            shard_id=shard_id,
+            address=address,
+            role=role,
+            state=state,
+        )
+        self._replicas[replica.replica_id] = replica
+        self._by_shard[shard_id].append(replica)
+        self._by_address.setdefault(address, []).append(replica)
+        return replica
+
+    def drop(self, replica_id: str) -> None:
+        replica = self._replicas.pop(replica_id, None)
+        if replica is None:
+            return
+        replica.state = ReplicaState.DROPPED
+        self._by_shard[replica.shard_id].remove(replica)
+        bucket = self._by_address.get(replica.address, [])
+        if replica in bucket:
+            bucket.remove(replica)
+            if not bucket:
+                del self._by_address[replica.address]
+
+    def set_state(self, replica_id: str, state: ReplicaState) -> None:
+        self._replicas[replica_id].state = state
+
+    def set_role(self, replica_id: str, role: Role) -> None:
+        replica = self._replicas[replica_id]
+        if role is Role.PRIMARY:
+            current = self.primary_of(replica.shard_id)
+            if current is not None and current.replica_id != replica_id:
+                raise ValueError(
+                    f"shard {replica.shard_id} already has primary "
+                    f"{current.replica_id}")
+        replica.role = role
+
+    def relocate(self, replica_id: str, new_address: str) -> None:
+        replica = self._replicas[replica_id]
+        bucket = self._by_address.get(replica.address, [])
+        if replica in bucket:
+            bucket.remove(replica)
+            if not bucket:
+                del self._by_address[replica.address]
+        replica.address = new_address
+        self._by_address.setdefault(new_address, []).append(replica)
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, replica_id: str) -> ReplicaAssignment:
+        return self._replicas[replica_id]
+
+    def replicas_of(self, shard_id: str) -> List[ReplicaAssignment]:
+        return list(self._by_shard[shard_id])
+
+    def primary_of(self, shard_id: str) -> Optional[ReplicaAssignment]:
+        for replica in self._by_shard[shard_id]:
+            if replica.role is Role.PRIMARY:
+                return replica
+        return None
+
+    def on_address(self, address: str) -> List[ReplicaAssignment]:
+        return list(self._by_address.get(address, []))
+
+    def addresses(self) -> List[str]:
+        return list(self._by_address)
+
+    def all_replicas(self) -> List[ReplicaAssignment]:
+        return list(self._replicas.values())
+
+    def available_replicas_of(self, shard_id: str) -> List[ReplicaAssignment]:
+        return [r for r in self._by_shard[shard_id] if r.available]
+
+    def unavailable_count(self, shard_id: str,
+                          down_addresses: Iterable[str] = ()) -> int:
+        """How many of a shard's replicas are currently not serving.
+
+        Counts both replicas in non-READY states and READY replicas on
+        known-down containers — the §4.1 caps must "account for the ...
+        shard replicas that are already unavailable due to ongoing
+        unplanned outage".
+        """
+        down = set(down_addresses)
+        count = 0
+        for replica in self._by_shard[shard_id]:
+            if not replica.available or replica.address in down:
+                count += 1
+        return count
+
+    def shards_on(self, address: str) -> List[str]:
+        return sorted({r.shard_id for r in self.on_address(address)})
+
+    # -- snapshotting -----------------------------------------------------------
+
+    def snapshot(self) -> ShardMap:
+        """Publishable map: only READY replicas are routable.
+
+        During a graceful migration the old primary stays READY (and thus
+        routable) until the new primary takes over at step 3 of §4.3; only
+        then does it flip to DRAINING and leave the next published map.
+        Stale clients that still route to it are served via forwarding
+        inside the application server.
+        """
+        entries = []
+        for shard in self.spec.shards:
+            primary: Optional[str] = None
+            secondaries: List[str] = []
+            for replica in self._by_shard[shard.shard_id]:
+                if replica.state is ReplicaState.READY:
+                    if replica.role is Role.PRIMARY:
+                        primary = replica.address
+                    else:
+                        secondaries.append(replica.address)
+            entries.append(ShardMapEntry(
+                shard_id=shard.shard_id,
+                key_low=shard.key_range.low,
+                key_high=shard.key_range.high,
+                primary=primary,
+                secondaries=tuple(sorted(secondaries)),
+            ))
+        self.last_version = next(self._version)
+        return ShardMap(app=self.spec.name, version=self.last_version,
+                        entries=tuple(entries))

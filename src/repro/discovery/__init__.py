@@ -1,0 +1,12 @@
+"""Service discovery and client-side request routing."""
+
+from .router import RequestOutcome, RoutingError, ServiceRouter
+from .service_discovery import ServiceDiscovery, Subscription
+
+__all__ = [
+    "RequestOutcome",
+    "RoutingError",
+    "ServiceRouter",
+    "ServiceDiscovery",
+    "Subscription",
+]

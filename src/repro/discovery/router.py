@@ -1,0 +1,164 @@
+"""Service router: the client-side library that routes requests by key.
+
+"The service router library is linked into application clients.  It
+learns from the service discovery system about which application server
+is responsible for which shards and routes requests accordingly" (§3.2).
+
+The router keeps a sorted-interval index over the latest delivered shard
+map (app-key approach — ranges, not hashes, so prefix scans stay
+possible), picks the primary for primary-routed requests or the
+nearest replica by region for secondary-reads, and retries on
+failure/misroute with the freshest map available.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..core.shard_map import ShardMap, ShardMapEntry
+from ..sim.engine import Delay, Engine, Wait
+from ..sim.network import Network, RpcResult
+
+
+class RoutingError(RuntimeError):
+    """No routable replica for a key (empty map or unassigned shard)."""
+
+
+@dataclass
+class RequestOutcome:
+    """Bookkeeping for one logical client request (across retries)."""
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+    latency: float = 0.0
+    attempts: int = 1
+    shard_id: str = ""
+
+
+class ServiceRouter:
+    """Routes by application key using the latest shard map delivered.
+
+    One router per client endpoint.  The owning client wires
+    :meth:`on_map_update` to a :class:`ServiceDiscovery` subscription.
+    """
+
+    def __init__(self, engine: Engine, network: Network, client_address: str,
+                 attempts: int = 3, rpc_timeout: float = 1.0,
+                 retry_backoff: float = 0.5) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.engine = engine
+        self.network = network
+        self.client_address = client_address
+        self.attempts = attempts
+        self.rpc_timeout = rpc_timeout
+        self.retry_backoff = retry_backoff
+        self._map: Optional[ShardMap] = None
+        self._lows: List[int] = []
+        self._entries: List[ShardMapEntry] = []
+        self.map_updates = 0
+
+    # -- map handling -----------------------------------------------------------
+
+    def on_map_update(self, shard_map: ShardMap) -> None:
+        if self._map is not None and shard_map.version <= self._map.version:
+            return  # tree fan-out can reorder deliveries; ignore stale ones
+        self._map = shard_map
+        ordered = sorted(shard_map.entries, key=lambda e: e.key_low)
+        self._lows = [entry.key_low for entry in ordered]
+        self._entries = ordered
+        self.map_updates += 1
+
+    @property
+    def map_version(self) -> int:
+        return self._map.version if self._map is not None else 0
+
+    def entry_for_key(self, key: int) -> ShardMapEntry:
+        if not self._entries:
+            raise RoutingError("no shard map received yet")
+        index = bisect.bisect_right(self._lows, key) - 1
+        if index < 0:
+            raise RoutingError(f"key {key} below the key space")
+        entry = self._entries[index]
+        if not (entry.key_low <= key < entry.key_high):
+            raise RoutingError(f"key {key} not covered by any shard")
+        return entry
+
+    # -- replica selection ----------------------------------------------------------
+
+    def _region_of(self, address: str) -> Optional[str]:
+        if self.network.has_endpoint(address):
+            return self.network.endpoint(address).region
+        return None
+
+    def pick_address(self, key: int, prefer_primary: bool = True,
+                     exclude: Tuple[str, ...] = ()) -> Tuple[str, str]:
+        """(address, shard_id) for a key; nearest replica for reads.
+
+        ``exclude`` lists addresses already tried this request.
+        """
+        entry = self.entry_for_key(key)
+        if prefer_primary:
+            if entry.primary is not None and entry.primary not in exclude:
+                return entry.primary, entry.shard_id
+            candidates = [a for a in entry.all_addresses() if a not in exclude]
+        else:
+            candidates = [a for a in entry.all_addresses() if a not in exclude]
+        if not candidates:
+            raise RoutingError(f"shard {entry.shard_id}: no routable replica")
+        client_region = self._region_of(self.client_address)
+        if client_region is None:
+            return candidates[0], entry.shard_id
+
+        def distance(address: str) -> float:
+            region = self._region_of(address)
+            if region is None:
+                return float("inf")
+            return self.network.latency.base_latency(client_region, region)
+
+        best = min(candidates, key=distance)
+        return best, entry.shard_id
+
+    # -- the request process -------------------------------------------------------
+
+    def request(self, key: int, payload: Any, method: str = "app.request",
+                prefer_primary: bool = True) -> Generator[Any, Any, RequestOutcome]:
+        """Generator process: send a request, retrying across replicas.
+
+        Run it with ``engine.process(router.request(...))`` or yield it
+        from another process.  A request fails only after ``attempts``
+        tries have all failed — matching how production clients hide
+        transient misroutes behind retries.
+        """
+        start = self.engine.now
+        tried: Tuple[str, ...] = ()
+        last_error = ""
+        shard_id = ""
+        for attempt in range(1, self.attempts + 1):
+            try:
+                address, shard_id = self.pick_address(
+                    key, prefer_primary=prefer_primary, exclude=tried)
+            except RoutingError as exc:
+                last_error = str(exc)
+                yield Delay(self.retry_backoff)
+                continue
+            call = self.network.rpc(
+                self.client_address, address, method,
+                {"key": key, "shard_id": shard_id, "payload": payload,
+                 "forwarded": False},
+                timeout=self.rpc_timeout)
+            result: RpcResult = yield Wait(call.done)
+            if result.ok:
+                return RequestOutcome(ok=True, value=result.value,
+                                      latency=self.engine.now - start,
+                                      attempts=attempt, shard_id=shard_id)
+            last_error = result.error
+            tried = tried + (address,)
+            if attempt < self.attempts:
+                yield Delay(self.retry_backoff)
+        return RequestOutcome(ok=False, error=last_error,
+                              latency=self.engine.now - start,
+                              attempts=self.attempts, shard_id=shard_id)

@@ -1,0 +1,88 @@
+"""Service discovery: disseminates shard maps to application clients.
+
+"[The orchestrator] distributes the new shard map to application clients
+via the service discovery system, which internally uses a multi-level
+data-distribution tree to fan out" (§3.2).  We model the tree as a
+per-subscriber propagation delay: every published map version reaches
+each subscriber after ``base_delay`` plus jitter (deeper tree levels =
+longer tails).  Clients therefore route with *slightly stale* maps, which
+is exactly what makes non-graceful migration drop requests (Fig 17).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.shard_map import ShardMap
+from ..sim.engine import Engine
+
+MapCallback = Callable[[ShardMap], None]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by ``subscribe``; call ``cancel`` to stop updates."""
+
+    app: str
+    callback: MapCallback
+    delay: float
+    active: bool = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class ServiceDiscovery:
+    """Versioned map store with delayed fan-out to subscribers."""
+
+    def __init__(self, engine: Engine, base_delay: float = 1.0,
+                 jitter: float = 1.0, rng: Optional[random.Random] = None) -> None:
+        if base_delay < 0 or jitter < 0:
+            raise ValueError("delays must be non-negative")
+        self.engine = engine
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+        self._maps: Dict[str, ShardMap] = {}
+        self._subscribers: Dict[str, List[Subscription]] = {}
+        self.publishes = 0
+
+    def publish(self, shard_map: ShardMap) -> None:
+        """Store the new version and fan it out."""
+        current = self._maps.get(shard_map.app)
+        if current is not None and shard_map.version <= current.version:
+            raise ValueError(
+                f"{shard_map.app}: version {shard_map.version} not newer "
+                f"than published {current.version}")
+        self._maps[shard_map.app] = shard_map
+        self.publishes += 1
+        for subscription in self._subscribers.get(shard_map.app, []):
+            if not subscription.active:
+                continue
+            delay = subscription.delay + self.rng.uniform(0.0, self.jitter)
+            self.engine.call_after(
+                delay, lambda s=subscription, m=shard_map: self._deliver(s, m))
+
+    def _deliver(self, subscription: Subscription, shard_map: ShardMap) -> None:
+        if subscription.active:
+            subscription.callback(shard_map)
+
+    def subscribe(self, app: str, callback: MapCallback,
+                  delay: Optional[float] = None) -> Subscription:
+        """Register for updates; the current map (if any) arrives immediately."""
+        subscription = Subscription(
+            app=app,
+            callback=callback,
+            delay=self.base_delay if delay is None else delay,
+        )
+        self._subscribers.setdefault(app, []).append(subscription)
+        current = self._maps.get(app)
+        if current is not None:
+            self.engine.call_after(0.0, lambda: self._deliver(subscription, current))
+        return subscription
+
+    def latest(self, app: str) -> Optional[ShardMap]:
+        """The authoritative newest map (what a fresh subscriber will get)."""
+        return self._maps.get(app)

@@ -1,0 +1,5 @@
+"""Metric recording (time series, rate windows, counters)."""
+
+from .timeseries import Counter, RateWindow, TimeSeries, format_table, percentile
+
+__all__ = ["Counter", "RateWindow", "TimeSeries", "format_table", "percentile"]

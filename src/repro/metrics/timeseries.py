@@ -1,0 +1,177 @@
+"""Time-series and windowed-rate recording used by every experiment.
+
+The figures in the paper are all time series (success rate, latency,
+violations, shard moves, CPU utilization).  :class:`TimeSeries` records
+raw (t, value) points; :class:`RateWindow` buckets counts into fixed-width
+windows so we can plot e.g. "request success rate per 10 s bucket".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """Append-only (time, value) samples with summary helpers."""
+
+    name: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"{self.name or 'series'}: time went backwards "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise ValueError(f"{self.name or 'series'} is empty")
+        return self.times[-1], self.values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: the most recent value at or before ``time``."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self.values[index]
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        sliced = TimeSeries(name=self.name)
+        sliced.times = self.times[lo:hi]
+        sliced.values = self.values[lo:hi]
+        return sliced
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"{self.name or 'series'} is empty")
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, pct: float) -> float:
+        return percentile(self.values, pct)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be within [0, 100], got {pct!r}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class RateWindow:
+    """Buckets event counts into fixed-width time windows.
+
+    Used for request success rates: record ``ok``/``failed`` events, then
+    read back per-bucket success ratios.
+    """
+
+    def __init__(self, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width!r}")
+        self.width = width
+        self._ok: Dict[int, int] = {}
+        self._failed: Dict[int, int] = {}
+
+    def _bucket(self, time: float) -> int:
+        return int(time // self.width)
+
+    def record(self, time: float, ok: bool, count: int = 1) -> None:
+        bucket = self._bucket(time)
+        table = self._ok if ok else self._failed
+        table[bucket] = table.get(bucket, 0) + count
+
+    def buckets(self) -> List[int]:
+        keys = set(self._ok) | set(self._failed)
+        return sorted(keys)
+
+    def success_rate(self, bucket: int) -> float:
+        ok = self._ok.get(bucket, 0)
+        failed = self._failed.get(bucket, 0)
+        total = ok + failed
+        if total == 0:
+            raise ValueError(f"no events in bucket {bucket}")
+        return ok / total
+
+    def totals(self, bucket: int) -> Tuple[int, int]:
+        return self._ok.get(bucket, 0), self._failed.get(bucket, 0)
+
+    def series(self) -> TimeSeries:
+        """Success rate per bucket as a TimeSeries keyed by bucket midpoint."""
+        out = TimeSeries(name="success_rate")
+        for bucket in self.buckets():
+            out.record((bucket + 0.5) * self.width, self.success_rate(bucket))
+        return out
+
+    def overall_success_rate(self) -> float:
+        ok = sum(self._ok.values())
+        failed = sum(self._failed.values())
+        if ok + failed == 0:
+            raise ValueError("no events recorded")
+        return ok / (ok + failed)
+
+
+class Counter:
+    """Monotonic counter with a time-series of increments, for move counts."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.total = 0
+        self.events = TimeSeries(name=name)
+
+    def add(self, time: float, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count!r}")
+        self.total += count
+        self.events.record(time, count)
+
+    def windowed(self, width: float) -> TimeSeries:
+        """Sum of increments per fixed-width window."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width!r}")
+        sums: Dict[int, float] = {}
+        for time, count in self.events:
+            bucket = int(time // width)
+            sums[bucket] = sums.get(bucket, 0.0) + count
+        out = TimeSeries(name=f"{self.name}/window")
+        for bucket in sorted(sums):
+            out.record((bucket + 0.5) * width, sums[bucket])
+        return out
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table used by the benchmark harnesses' printed output."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Replication substrates (Paxos, for the ZippyDB example)."""
+
+from .paxos import (
+    Accepted,
+    Acceptor,
+    Ballot,
+    Learner,
+    Promise,
+    Proposer,
+    ReplicatedLog,
+    ZERO_BALLOT,
+)
+
+__all__ = [
+    "Accepted",
+    "Acceptor",
+    "Ballot",
+    "Learner",
+    "Promise",
+    "Proposer",
+    "ReplicatedLog",
+    "ZERO_BALLOT",
+]

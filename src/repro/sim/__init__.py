@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate (engine, network, failures, RNG)."""
+
+from .engine import (
+    Delay,
+    Engine,
+    EventHandle,
+    Process,
+    Signal,
+    SimulationError,
+    Wait,
+    every,
+)
+from .failures import CrashInjector, FailureRecord
+from .network import (
+    DEFAULT_REGION_LATENCY,
+    AsyncReply,
+    Endpoint,
+    LatencyModel,
+    Network,
+    NetworkError,
+    RpcCall,
+    RpcResult,
+    wait_rpc,
+)
+from .rng import make_rng, skewed_loads, substream, weighted_choice
+
+__all__ = [
+    "Delay",
+    "Engine",
+    "EventHandle",
+    "Process",
+    "Signal",
+    "SimulationError",
+    "Wait",
+    "every",
+    "CrashInjector",
+    "FailureRecord",
+    "DEFAULT_REGION_LATENCY",
+    "AsyncReply",
+    "Endpoint",
+    "LatencyModel",
+    "Network",
+    "NetworkError",
+    "RpcCall",
+    "RpcResult",
+    "wait_rpc",
+    "make_rng",
+    "skewed_loads",
+    "substream",
+    "weighted_choice",
+]

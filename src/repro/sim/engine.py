@@ -1,0 +1,289 @@
+"""Discrete-event simulation engine.
+
+This is the substrate every other subsystem runs on.  The paper's
+evaluation ran on Facebook's production fleet; we reproduce the control
+plane's behaviour on a simulated clock instead (see DESIGN.md,
+"Substitutions").
+
+The engine is a classic heap-scheduled event loop:
+
+* :class:`Engine` owns the clock and the pending-event heap.
+* ``call_at`` / ``call_after`` schedule plain callbacks and return a
+  cancellable :class:`EventHandle`.
+* :class:`Process` wraps a generator so sequential simulation code can be
+  written in direct style, yielding :class:`Delay`, :class:`Wait` (on a
+  :class:`Signal`), or another :class:`Process` to join.
+
+Determinism: the heap breaks time ties with a monotonically increasing
+sequence number, so two runs with the same seed produce identical event
+orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellable handle returned by ``call_at``/``call_after``."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self._event.cancelled = True
+
+
+class Engine:
+    """Heap-based discrete-event scheduler with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (for instrumentation)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when:.6f}, current time is {self._now:.6f}"
+            )
+        event = _ScheduledEvent(when, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulated time when the run stopped.  When ``until`` is
+        given, the clock is advanced to exactly ``until`` even if the last
+        event fired earlier (so repeated ``run(until=...)`` calls tile time).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if max_events is not None and executed >= max_events:
+                    # Put it back: we only peeked.
+                    heapq.heappush(self._heap, event)
+                    break
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self._processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> "Process":
+        """Start a generator-based process immediately."""
+        proc = Process(self, generator, name=name)
+        proc._step(None)
+        return proc
+
+
+class Delay:
+    """Yielded by a process to sleep for ``seconds`` of simulated time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"negative delay {seconds!r}")
+        self.seconds = seconds
+
+
+class Signal:
+    """A broadcast one-shot-per-fire synchronization point.
+
+    Processes yield ``Wait(signal)`` to suspend until the next ``fire``.
+    ``fire(value)`` wakes every waiter with ``value``.  A Signal can fire
+    many times; each fire wakes only the waiters registered at that moment.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def _add_waiter(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Wake on a fresh event so firing inside a process is safe.
+            self._engine.call_after(0.0, lambda w=waiter: w(value))
+
+
+class Wait:
+    """Yielded by a process to block on a :class:`Signal`."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class Process:
+    """A generator-driven simulated activity.
+
+    The generator may yield:
+
+    * ``Delay(seconds)`` — resume after the delay, receiving ``None``;
+    * ``Wait(signal)`` — resume when the signal fires, receiving the value;
+    * another ``Process`` — resume when it finishes, receiving its result.
+
+    The generator's return value becomes :attr:`result`.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator[Any, Any, Any], name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._done_signal = Signal(engine)
+
+    @property
+    def done_signal(self) -> Signal:
+        return self._done_signal
+
+    def _step(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as exc:  # surface process crashes loudly
+            self.exception = exc
+            self._finish(result=None)
+            raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Delay):
+            self.engine.call_after(yielded.seconds, lambda: self._step(None))
+        elif isinstance(yielded, Wait):
+            yielded.signal._add_waiter(self._step)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self.engine.call_after(0.0, lambda: self._step(yielded.result))
+            else:
+                yielded._done_signal._add_waiter(lambda _v: self._step(yielded.result))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self._done_signal.fire(result)
+
+
+def every(engine: Engine, interval: float, callback: Callable[[], None],
+          start_after: Optional[float] = None,
+          jitter: float = 0.0,
+          rng: Optional[Any] = None) -> Callable[[], None]:
+    """Run ``callback`` every ``interval`` seconds until the returned
+    stopper is invoked.  ``jitter`` adds ±jitter uniform noise per tick
+    (requires ``rng`` with a ``uniform`` method).
+    """
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive, got {interval!r}")
+    stopped = False
+
+    def _tick() -> None:
+        if stopped:
+            return
+        callback()
+        _schedule()
+
+    def _schedule() -> None:
+        delay = interval
+        if jitter and rng is not None:
+            delay = max(0.0, interval + rng.uniform(-jitter, jitter))
+        engine.call_after(delay, _tick)
+
+    first = interval if start_after is None else start_after
+    engine.call_after(first, _tick)
+
+    def _stop() -> None:
+        nonlocal stopped
+        stopped = True
+
+    return _stop
+
+
+def drain(engine: Engine, signals: Iterable[Signal]) -> Generator[Any, Any, list[Any]]:
+    """Process helper: wait for every signal once, returning their values."""
+    values = []
+    for signal in signals:
+        value = yield Wait(signal)
+        values.append(value)
+    return values

@@ -1,0 +1,75 @@
+"""Unplanned-failure injection.
+
+Planned events (maintenance, upgrades) are first-class citizens of the
+cluster manager (``repro.cluster.maintenance``); unplanned failures are
+injected here.  Figure 1's headline — planned container stops are ≈1000x
+more frequent than unplanned ones — falls out of the default rates used
+by the Fig 1 experiment, not anything hard-coded here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, List, Optional, TypeVar
+
+from .engine import Engine
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class FailureRecord:
+    """One injected crash, for post-hoc analysis."""
+
+    target: object
+    fail_time: float
+    repair_time: Optional[float] = None
+
+
+@dataclass
+class CrashInjector(Generic[T]):
+    """Poisson-process crash/repair injector over a set of targets.
+
+    Each target independently fails with exponential inter-failure times of
+    mean ``mtbf`` seconds and recovers after ``repair_time`` seconds.  The
+    callbacks receive the target; the cluster layer maps them onto machine
+    downs/ups.
+    """
+
+    engine: Engine
+    rng: random.Random
+    mtbf: float
+    repair_time: float
+    on_fail: Callable[[T], None]
+    on_repair: Callable[[T], None]
+    records: List[FailureRecord] = field(default_factory=list)
+    _stopped: bool = False
+
+    def start(self, targets: List[T]) -> None:
+        if self.mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {self.mtbf!r}")
+        for target in targets:
+            self._schedule_failure(target)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_failure(self, target: T) -> None:
+        delay = self.rng.expovariate(1.0 / self.mtbf)
+        self.engine.call_after(delay, lambda: self._fail(target))
+
+    def _fail(self, target: T) -> None:
+        if self._stopped:
+            return
+        record = FailureRecord(target=target, fail_time=self.engine.now)
+        self.records.append(record)
+        self.on_fail(target)
+        self.engine.call_after(self.repair_time, lambda: self._repair(target, record))
+
+    def _repair(self, target: T, record: FailureRecord) -> None:
+        if self._stopped:
+            return
+        record.repair_time = self.engine.now
+        self.on_repair(target)
+        self._schedule_failure(target)

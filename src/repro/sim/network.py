@@ -1,0 +1,327 @@
+"""Simulated wide-area network: latency matrix, RPC endpoints, partitions.
+
+The paper's experiments span three real regions (FRC — Forest City NC,
+PRN — Prineville OR, ODN — Odense DK).  We model the WAN as a symmetric
+region-to-region one-way latency matrix plus a small intra-region latency,
+with optional jitter, message loss, downed endpoints and region partitions.
+
+RPCs complete asynchronously: :meth:`Network.rpc` returns an
+:class:`RpcCall` whose ``done`` signal fires with an :class:`RpcResult`.
+Generator processes can simply ``result = yield Wait(call.done)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .engine import Engine, Signal
+
+# One-way latencies in seconds, loosely calibrated to public RTT data for
+# the paper's three experiment regions (§8.3).  Symmetric.
+DEFAULT_REGION_LATENCY: Dict[Tuple[str, str], float] = {
+    ("FRC", "PRN"): 0.035,
+    ("FRC", "ODN"): 0.048,
+    ("PRN", "ODN"): 0.075,
+}
+
+DEFAULT_INTRA_REGION_LATENCY = 0.001
+
+
+class NetworkError(RuntimeError):
+    """Raised for misconfigured network operations."""
+
+
+@dataclass
+class RpcResult:
+    """Outcome of an RPC: either ``value`` or an ``error`` string."""
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+    latency: float = 0.0
+
+    def unwrap(self) -> Any:
+        if not self.ok:
+            raise NetworkError(f"rpc failed: {self.error}")
+        return self.value
+
+
+class RpcCall:
+    """Handle for an in-flight RPC."""
+
+    __slots__ = ("done", "result")
+
+    def __init__(self, engine: Engine) -> None:
+        self.done = Signal(engine)
+        self.result: Optional[RpcResult] = None
+
+    def _complete(self, result: RpcResult) -> None:
+        if self.result is not None:
+            return  # first completion (value or timeout) wins
+        self.result = result
+        self.done.fire(result)
+
+
+def wait_rpc(call: RpcCall):
+    """Process helper: wait for an RPC that may already be complete.
+
+    ``yield Wait(call.done)`` alone deadlocks if the call finished before
+    the wait was registered (signals are edge-triggered); this helper is
+    the safe way to join a call issued earlier — always use it when
+    broadcasting several RPCs before waiting on them.
+    """
+    from .engine import Wait  # local import: engine must not import us
+
+    if call.result is None:
+        yield Wait(call.done)
+    return call.result
+
+
+class AsyncReply:
+    """Returned by a handler that cannot answer synchronously.
+
+    The server completes it later (e.g. after forwarding the request to
+    another server); the network sends the response when it completes.
+    """
+
+    __slots__ = ("_ok", "_value", "_error", "_settled", "_callbacks")
+
+    def __init__(self) -> None:
+        self._ok = False
+        self._value: Any = None
+        self._error = ""
+        self._settled = False
+        self._callbacks: list[Callable[["AsyncReply"], None]] = []
+
+    def complete(self, value: Any = None) -> None:
+        self._settle(True, value, "")
+
+    def fail(self, error: str) -> None:
+        self._settle(False, None, error)
+
+    def _settle(self, ok: bool, value: Any, error: str) -> None:
+        if self._settled:
+            raise NetworkError("AsyncReply settled twice")
+        self._settled = True
+        self._ok = ok
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _on_settle(self, callback: Callable[["AsyncReply"], None]) -> None:
+        if self._settled:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Endpoint:
+    """A network-addressable party.
+
+    Handlers are registered per method name and receive the payload; their
+    return value becomes the RPC response.  Returning an
+    :class:`AsyncReply` defers the response until the server completes it.
+    Raising inside a handler turns into an error result at the caller
+    (errors should never pass silently).
+    """
+
+    def __init__(self, address: str, region: str) -> None:
+        self.address = address
+        self.region = region
+        self.up = True
+        self._handlers: Dict[str, Callable[[Any], Any]] = {}
+
+    def on(self, method: str, handler: Callable[[Any], Any]) -> None:
+        self._handlers[method] = handler
+
+    def handle(self, method: str, payload: Any) -> Any:
+        try:
+            handler = self._handlers[method]
+        except KeyError:
+            raise NetworkError(f"{self.address}: no handler for {method!r}") from None
+        return handler(payload)
+
+
+class LatencyModel:
+    """Region-pair one-way latency with multiplicative jitter."""
+
+    def __init__(self,
+                 region_latency: Optional[Dict[Tuple[str, str], float]] = None,
+                 intra_region: float = DEFAULT_INTRA_REGION_LATENCY,
+                 jitter_fraction: float = 0.1) -> None:
+        self.intra_region = intra_region
+        self.jitter_fraction = jitter_fraction
+        self._matrix: Dict[Tuple[str, str], float] = {}
+        for (a, b), lat in (region_latency or DEFAULT_REGION_LATENCY).items():
+            self._matrix[(a, b)] = lat
+            self._matrix[(b, a)] = lat
+
+    def base_latency(self, src_region: str, dst_region: str) -> float:
+        if src_region == dst_region:
+            return self.intra_region
+        try:
+            return self._matrix[(src_region, dst_region)]
+        except KeyError:
+            raise NetworkError(
+                f"no latency configured between {src_region!r} and {dst_region!r}"
+            ) from None
+
+    def sample(self, src_region: str, dst_region: str, rng: random.Random) -> float:
+        base = self.base_latency(src_region, dst_region)
+        if not self.jitter_fraction:
+            return base
+        return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+    def regions(self) -> set[str]:
+        return {r for pair in self._matrix for r in pair}
+
+
+class Network:
+    """Delivers RPCs between endpoints over the latency model.
+
+    Failure knobs:
+
+    * ``set_endpoint_up(addr, False)`` — requests to/from it time out;
+    * ``partition(region_a, region_b)`` — drop traffic between two regions;
+    * ``loss_probability`` — uniform random message loss (each direction).
+    """
+
+    def __init__(self, engine: Engine,
+                 latency: Optional[LatencyModel] = None,
+                 rng: Optional[random.Random] = None,
+                 default_timeout: float = 1.0,
+                 loss_probability: float = 0.0) -> None:
+        self.engine = engine
+        self.latency = latency or LatencyModel()
+        self.rng = rng or random.Random(0)
+        self.default_timeout = default_timeout
+        self.loss_probability = loss_probability
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self.rpcs_sent = 0
+        self.rpcs_failed = 0
+
+    # -- endpoint management -------------------------------------------------
+
+    def register(self, address: str, region: str) -> Endpoint:
+        if address in self._endpoints:
+            raise NetworkError(f"duplicate endpoint address {address!r}")
+        endpoint = Endpoint(address, region)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {address!r}") from None
+
+    def has_endpoint(self, address: str) -> bool:
+        return address in self._endpoints
+
+    def set_endpoint_up(self, address: str, up: bool) -> None:
+        self.endpoint(address).up = up
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, region_a: str, region_b: str) -> None:
+        self._partitions.add(frozenset((region_a, region_b)))
+
+    def heal_partition(self, region_a: str, region_b: str) -> None:
+        self._partitions.discard(frozenset((region_a, region_b)))
+
+    def _partitioned(self, region_a: str, region_b: str) -> bool:
+        return frozenset((region_a, region_b)) in self._partitions
+
+    # -- RPC -----------------------------------------------------------------
+
+    def rpc(self, src_address: str, dst_address: str, method: str,
+            payload: Any = None, timeout: Optional[float] = None) -> RpcCall:
+        """Send an RPC; the returned call's ``done`` signal fires exactly once."""
+        call = RpcCall(self.engine)
+        timeout = self.default_timeout if timeout is None else timeout
+        start = self.engine.now
+        self.rpcs_sent += 1
+
+        src = self._endpoints.get(src_address)
+        dst = self._endpoints.get(dst_address)
+
+        def fail(reason: str) -> None:
+            if call.result is not None:
+                return  # already completed successfully
+            self.rpcs_failed += 1
+            call._complete(RpcResult(ok=False, error=reason,
+                                     latency=self.engine.now - start))
+
+        if src is None:
+            self.engine.call_after(0.0, lambda: fail(f"unknown source {src_address!r}"))
+            return call
+        if dst is None or not src.up:
+            self.engine.call_after(timeout, lambda: fail("timeout"))
+            return call
+
+        dropped = (
+            not dst.up
+            or self._partitioned(src.region, dst.region)
+            or (self.loss_probability and self.rng.random() < self.loss_probability)
+        )
+        if dropped:
+            self.engine.call_after(timeout, lambda: fail("timeout"))
+            return call
+
+        request_latency = self.latency.sample(src.region, dst.region, self.rng)
+
+        def deliver_request() -> None:
+            # Re-check liveness at delivery time: the destination may have
+            # crashed while the request was in flight.
+            if not dst.up or self._partitioned(src.region, dst.region):
+                self.engine.call_after(max(0.0, timeout - request_latency),
+                                       lambda: fail("timeout"))
+                return
+            try:
+                value = dst.handle(method, payload)
+            except Exception as exc:  # handler errors surface at the caller
+                value = None
+                error = f"{type(exc).__name__}: {exc}"
+                response_ok = False
+            else:
+                error = ""
+                response_ok = True
+
+            def send_response(ok: bool, response_value: Any,
+                              response_error: str) -> None:
+                response_latency = self.latency.sample(
+                    dst.region, src.region, self.rng)
+
+                def deliver_response() -> None:
+                    if not src.up:
+                        fail("caller down")
+                        return
+                    if not ok:
+                        fail(response_error)
+                        return
+                    call._complete(RpcResult(ok=True, value=response_value,
+                                             latency=self.engine.now - start))
+
+                self.engine.call_after(response_latency, deliver_response)
+
+            if response_ok and isinstance(value, AsyncReply):
+                value._on_settle(
+                    lambda reply: send_response(reply._ok, reply._value,
+                                                reply._error))
+                # A reply the server never settles must still time out at
+                # the caller (first completion wins if it does settle).
+                remaining = max(0.0, timeout - (self.engine.now - start))
+                self.engine.call_after(remaining, lambda: fail("timeout"))
+            else:
+                send_response(response_ok, value, error)
+
+        self.engine.call_after(request_latency, deliver_request)
+        return call

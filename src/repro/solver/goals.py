@@ -1,0 +1,463 @@
+"""Goal evaluators: specs compiled against a concrete problem.
+
+Each evaluator supports *incremental* move evaluation — ``move_delta``
+answers "how does the cost change if replica r moves src → dst" in O(1)
+(per metric) without recomputing the whole objective.  This is our
+equivalent of ReBalancer's objective tree that "only traverses tree nodes
+whose values may change" (§5.3): the objective decomposes per server /
+per (shard, domain) term, and a single move touches at most two terms per
+goal.
+
+All evaluators share the mutable :class:`~repro.solver.problem.PlacementProblem`
+and must be notified of applied moves via ``on_move`` (spread keeps a
+counts table; the others read problem state directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .problem import PlacementProblem
+from .specs import (
+    AffinitySpec,
+    BalanceSpec,
+    CapacitySpec,
+    DrainSpec,
+    ExclusionSpec,
+    Scope,
+    UtilizationSpec,
+)
+
+
+class Goal:
+    """Interface shared by all goal evaluators."""
+
+    name: str = "goal"
+    priority: int = 0
+    weight: float = 1.0
+
+    def total_cost(self) -> float:
+        raise NotImplementedError
+
+    def violations(self) -> int:
+        raise NotImplementedError
+
+    def violating_servers(self) -> List[int]:
+        """Server indices whose state this goal wants changed, worst first."""
+        raise NotImplementedError
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        raise NotImplementedError
+
+    def on_move(self, replica: int, src: int, dst: int) -> None:
+        """Called after the problem applied a move (default: stateless)."""
+        return None
+
+    def refresh(self) -> None:
+        """Recompute any per-round caches (e.g. regional means)."""
+        return None
+
+    def contributes(self, replica: int) -> bool:
+        """Whether moving ``replica`` could possibly reduce this goal's cost.
+
+        Load goals return True (any load leaving a hot server helps);
+        placement goals (affinity, spread, drain) return True only for the
+        replicas that are actually misplaced — this focuses the search.
+        """
+        return True
+
+
+def _domain_array(problem: PlacementProblem, scope: Scope) -> List[int]:
+    if scope is Scope.REGION:
+        return problem.server_region
+    if scope is Scope.DATACENTER:
+        return problem.server_dc
+    if scope is Scope.RACK:
+        return problem.server_rack
+    return list(range(len(problem.servers)))  # HOST: every server its own domain
+
+
+class CapacityGoal(Goal):
+    """Hard constraint, surfaced as the highest-priority goal so the search
+    fixes overflow first ("earlier batches focus on ... servers out of
+    capacity", §5.3).  ``fits`` additionally vetoes moves that would create
+    new overflow."""
+
+    def __init__(self, problem: PlacementProblem, spec: CapacitySpec) -> None:
+        self.problem = problem
+        self.metric = problem.metrics.index(spec.metric)
+        self.headroom = spec.headroom
+        self.name = f"capacity[{spec.metric}]"
+        self.priority = 0
+        self.weight = 1.0
+
+    def _limit(self, server: int) -> float:
+        return self.problem.capacity[server][self.metric] * self.headroom
+
+    def _overflow(self, server: int) -> float:
+        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+
+    def total_cost(self) -> float:
+        return sum(self._overflow(s) for s in range(len(self.problem.servers)))
+
+    def violations(self) -> int:
+        return sum(1 for s in range(len(self.problem.servers))
+                   if self._overflow(s) > 1e-9)
+
+    def violating_servers(self) -> List[int]:
+        overflows = [(self._overflow(s), s)
+                     for s in range(len(self.problem.servers))]
+        return [s for value, s in sorted(overflows, reverse=True) if value > 1e-9]
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        load = self.problem.loads[replica][self.metric]
+        if load == 0.0 or src == dst:
+            return 0.0
+        usage = self.problem.usage
+        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
+        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
+        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
+        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        return (src_after - src_before) + (dst_after - dst_before)
+
+    def fits(self, replica: int, dst: int) -> bool:
+        load = self.problem.loads[replica][self.metric]
+        return (self.problem.usage[dst][self.metric] + load
+                <= self._limit(dst) + 1e-9)
+
+
+class UtilizationGoal(Goal):
+    """Soft goal 4: utilization under a fixed threshold (e.g. 90%)."""
+
+    def __init__(self, problem: PlacementProblem, spec: UtilizationSpec,
+                 weight: float = 1.0) -> None:
+        self.problem = problem
+        self.metric = problem.metrics.index(spec.metric)
+        self.threshold = spec.threshold
+        self.name = f"util[{spec.metric}]<{spec.threshold:.0%}"
+        self.priority = spec.priority
+        self.weight = weight
+
+    def _limit(self, server: int) -> float:
+        return self.problem.capacity[server][self.metric] * self.threshold
+
+    def _excess(self, server: int) -> float:
+        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+
+    def total_cost(self) -> float:
+        return sum(self._excess(s) for s in range(len(self.problem.servers)))
+
+    def violations(self) -> int:
+        return sum(1 for s in range(len(self.problem.servers))
+                   if self._excess(s) > 1e-9)
+
+    def violating_servers(self) -> List[int]:
+        excesses = [(self._excess(s), s) for s in range(len(self.problem.servers))]
+        return [s for value, s in sorted(excesses, reverse=True) if value > 1e-9]
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        load = self.problem.loads[replica][self.metric]
+        if load == 0.0 or src == dst:
+            return 0.0
+        usage = self.problem.usage
+        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
+        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
+        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
+        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        return (src_after - src_before) + (dst_after - dst_before)
+
+
+class BalanceGoal(Goal):
+    """Soft goals 5/6: utilization within ``band`` of the (scope) mean.
+
+    The global mean utilization (total load / total capacity) is invariant
+    under moves; per-region means change only on cross-region moves and are
+    refreshed once per search round — a deliberate, documented
+    approximation that keeps deltas O(1).
+    """
+
+    def __init__(self, problem: PlacementProblem, spec: BalanceSpec,
+                 weight: float = 1.0) -> None:
+        self.problem = problem
+        self.metric = problem.metrics.index(spec.metric)
+        self.band = spec.band
+        self.regional = spec.scope is Scope.REGION
+        scope_label = "regional" if self.regional else "global"
+        self.name = f"balance[{spec.metric},{scope_label}]"
+        self.priority = spec.priority
+        self.weight = weight
+        self._mean_by_region: List[float] = []
+        self._global_mean = 0.0
+        self.refresh()
+
+    def refresh(self) -> None:
+        problem, m = self.problem, self.metric
+        if self.regional:
+            num_regions = len(problem.region_names)
+            cap = [0.0] * num_regions
+            use = [0.0] * num_regions
+            for s, region in enumerate(problem.server_region):
+                cap[region] += problem.capacity[s][m]
+                use[region] += problem.usage[s][m]
+            self._mean_by_region = [u / c if c > 0 else 0.0
+                                    for u, c in zip(use, cap)]
+        else:
+            total_cap = sum(c[m] for c in problem.capacity)
+            total_use = sum(u[m] for u in problem.usage)
+            self._global_mean = total_use / total_cap if total_cap > 0 else 0.0
+
+    def _limit(self, server: int) -> float:
+        mean = (self._mean_by_region[self.problem.server_region[server]]
+                if self.regional else self._global_mean)
+        return (mean + self.band) * self.problem.capacity[server][self.metric]
+
+    def _excess(self, server: int) -> float:
+        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+
+    def total_cost(self) -> float:
+        return sum(self._excess(s) for s in range(len(self.problem.servers)))
+
+    def violations(self) -> int:
+        return sum(1 for s in range(len(self.problem.servers))
+                   if self._excess(s) > 1e-9)
+
+    def violating_servers(self) -> List[int]:
+        excesses = [(self._excess(s), s) for s in range(len(self.problem.servers))]
+        return [s for value, s in sorted(excesses, reverse=True) if value > 1e-9]
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        load = self.problem.loads[replica][self.metric]
+        if load == 0.0 or src == dst:
+            return 0.0
+        usage = self.problem.usage
+        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
+        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
+        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
+        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        return (src_after - src_before) + (dst_after - dst_before)
+
+
+class AffinityGoal(Goal):
+    """Soft goal 1: regional placement preference, per shard.
+
+    The preference is a *shard-level* property: it is satisfied as soon as
+    one replica of the shard sits in the preferred region (§8.3: "each EC
+    shard has one replica at FRC for locality and another replica at
+    either PRN or ODN for fault tolerance").  Cost per preferring shard is
+    its weight if no replica is in the preferred region, else 0.  A counts
+    table keeps deltas O(1).
+    """
+
+    def __init__(self, problem: PlacementProblem, spec: AffinitySpec) -> None:
+        if spec.scope is not Scope.REGION:
+            raise ValueError("affinity is supported at region scope")
+        self.problem = problem
+        self.name = "region-preference"
+        self.priority = spec.priority
+        self.weight = spec.weight
+        # Explicit affinities override the problem's per-replica fields.
+        self.pref_region = list(problem.replica_pref_region)
+        self.pref_weight = list(problem.replica_pref_weight)
+        if spec.affinities is not None:
+            by_name = {r.name: i for i, r in enumerate(problem.replicas)}
+            for replica_name, region, weight in spec.affinities:
+                idx = by_name[replica_name]
+                self.pref_region[idx] = problem.region_names.index(region)
+                self.pref_weight[idx] = weight
+        # Group replicas by (shard, preferred region).
+        self._group_of: Dict[int, Tuple[int, int]] = {}
+        self._group_weight: Dict[Tuple[int, int], float] = {}
+        self._group_members: Dict[Tuple[int, int], List[int]] = {}
+        for r in range(len(problem.replicas)):
+            pref = self.pref_region[r]
+            if pref == -1:
+                continue
+            key = (problem.shard_of[r], pref)
+            self._group_of[r] = key
+            self._group_weight[key] = max(self._group_weight.get(key, 0.0),
+                                          self.pref_weight[r])
+            self._group_members.setdefault(key, []).append(r)
+        self._in_pref: Dict[Tuple[int, int], int] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        self._in_pref = {key: 0 for key in self._group_weight}
+        for r, key in self._group_of.items():
+            server = self.problem.assignment[r]
+            if server != -1 and self.problem.server_region[server] == key[1]:
+                self._in_pref[key] += 1
+
+    def _unsatisfied(self) -> List[Tuple[int, int]]:
+        return [key for key, count in self._in_pref.items() if count == 0]
+
+    def total_cost(self) -> float:
+        return sum(self._group_weight[key] for key in self._unsatisfied())
+
+    def violations(self) -> int:
+        return len(self._unsatisfied())
+
+    def violating_servers(self) -> List[int]:
+        counts: Dict[int, float] = {}
+        for key in self._unsatisfied():
+            weight = self._group_weight[key]
+            for r in self._group_members[key]:
+                server = self.problem.assignment[r]
+                if server != -1:
+                    counts[server] = counts.get(server, 0.0) + weight
+        return [s for _cost, s in sorted(
+            ((cost, s) for s, cost in counts.items()), reverse=True)]
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        key = self._group_of.get(replica)
+        if key is None or src == dst:
+            return 0.0
+        pref = key[1]
+        region = self.problem.server_region
+        src_in = src != -1 and region[src] == pref
+        dst_in = region[dst] == pref
+        if src_in == dst_in:
+            return 0.0
+        count = self._in_pref[key]
+        weight = self._group_weight[key]
+        if src_in:  # leaving the preferred region
+            return weight if count == 1 else 0.0
+        return -weight if count == 0 else 0.0  # entering it
+
+    def on_move(self, replica: int, src: int, dst: int) -> None:
+        key = self._group_of.get(replica)
+        if key is None:
+            return
+        pref = key[1]
+        region = self.problem.server_region
+        if src != -1 and region[src] == pref:
+            self._in_pref[key] -= 1
+        if dst != -1 and region[dst] == pref:
+            self._in_pref[key] += 1
+
+    def preferred_region_of(self, replica: int) -> int:
+        """Used by the search's domain-knowledge sampling."""
+        return self.pref_region[replica]
+
+    def contributes(self, replica: int) -> bool:
+        key = self._group_of.get(replica)
+        return key is not None and self._in_pref[key] == 0
+
+
+class SpreadGoal(Goal):
+    """Soft goal 2: spread each shard's replicas across fault domains.
+
+    Cost for a (shard, domain) cell with k co-located replicas is k - 1;
+    total cost is the number of "excess" co-located replicas.  A counts
+    table makes deltas O(1).
+    """
+
+    def __init__(self, problem: PlacementProblem, spec: ExclusionSpec) -> None:
+        self.problem = problem
+        self.scope = spec.scope
+        self.name = f"spread[{spec.scope.value}]"
+        self.priority = spec.priority
+        self.weight = spec.weight
+        self.domain_of_server = _domain_array(problem, spec.scope)
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        self._counts.clear()
+        for r, server in enumerate(self.problem.assignment):
+            if server == -1:
+                continue
+            key = (self.problem.shard_of[r], self.domain_of_server[server])
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def total_cost(self) -> float:
+        return float(sum(count - 1 for count in self._counts.values() if count > 1))
+
+    def violations(self) -> int:
+        return sum(count - 1 for count in self._counts.values() if count > 1)
+
+    def violating_servers(self) -> List[int]:
+        servers = []
+        seen = set()
+        for r, server in enumerate(self.problem.assignment):
+            if server == -1 or server in seen:
+                continue
+            key = (self.problem.shard_of[r], self.domain_of_server[server])
+            if self._counts.get(key, 0) > 1:
+                seen.add(server)
+                servers.append(server)
+        return servers
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        shard = self.problem.shard_of[replica]
+        src_domain = self.domain_of_server[src] if src != -1 else None
+        dst_domain = self.domain_of_server[dst]
+        if src_domain == dst_domain:
+            return 0.0
+        delta = 0.0
+        if src_domain is not None:
+            if self._counts.get((shard, src_domain), 0) > 1:
+                delta -= 1.0  # leaving a crowded domain removes one excess
+        if self._counts.get((shard, dst_domain), 0) >= 1:
+            delta += 1.0  # entering an occupied domain adds one excess
+        return delta
+
+    def on_move(self, replica: int, src: int, dst: int) -> None:
+        shard = self.problem.shard_of[replica]
+        if src != -1:
+            key = (shard, self.domain_of_server[src])
+            count = self._counts.get(key, 0) - 1
+            if count <= 0:
+                self._counts.pop(key, None)
+            else:
+                self._counts[key] = count
+        if dst != -1:
+            key = (shard, self.domain_of_server[dst])
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def crowded(self, replica: int) -> bool:
+        server = self.problem.assignment[replica]
+        if server == -1:
+            return False
+        key = (self.problem.shard_of[replica], self.domain_of_server[server])
+        return self._counts.get(key, 0) > 1
+
+    def domain_count(self, replica: int, server: int) -> int:
+        return self._counts.get(
+            (self.problem.shard_of[replica], self.domain_of_server[server]), 0)
+
+    def contributes(self, replica: int) -> bool:
+        return self.crowded(replica)
+
+
+class DrainGoal(Goal):
+    """Soft goal 3: empty servers flagged as draining."""
+
+    def __init__(self, problem: PlacementProblem, spec: DrainSpec) -> None:
+        self.problem = problem
+        self.name = "maintenance-drain"
+        self.priority = spec.priority
+        self.weight = spec.weight
+
+    def total_cost(self) -> float:
+        return float(sum(len(self.problem.replicas_on[s])
+                         for s in range(len(self.problem.servers))
+                         if self.problem.server_draining[s]))
+
+    def violations(self) -> int:
+        return int(self.total_cost())
+
+    def violating_servers(self) -> List[int]:
+        pairs = [(len(self.problem.replicas_on[s]), s)
+                 for s in range(len(self.problem.servers))
+                 if self.problem.server_draining[s] and self.problem.replicas_on[s]]
+        return [s for _count, s in sorted(pairs, reverse=True)]
+
+    def move_delta(self, replica: int, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        draining = self.problem.server_draining
+        before = 1.0 if (src != -1 and draining[src]) else 0.0
+        after = 1.0 if draining[dst] else 0.0
+        return after - before

@@ -1,0 +1,383 @@
+"""Local-search engine with the paper's §5.3 optimizations.
+
+"Starting from the current shard assignment, it considers moving shards
+from hot servers to cold servers by prioritizing shards whose constraint
+or goal violations impair the optimization objective the most.  It
+evaluates a large number of such shard moves and keeps the best one.
+Local search repeats until it either cannot find improvements or uses up
+a predetermined time and move budget."
+
+The four scaling techniques (§5.3) map to config flags so the Fig 22
+experiment can ablate them:
+
+* ``grouped_sampling``   — sample move targets across server groups
+  (regions) instead of uniformly, plus domain-knowledge targeting of a
+  replica's preferred region / under-represented spread domains;
+* ``large_first``        — evaluate a hot server's largest replicas first;
+* ``equivalence_classes``— evaluate one representative per class of
+  replicas that are interchangeable for the active goals;
+* ``priority_batches``   — solve goals in priority order, never
+  deteriorating the already-solved higher-priority batches, with longer
+  per-batch deadlines for the critical early batches.
+
+``OPTIMIZED`` enables everything; ``BASELINE`` (Fig 22's comparison arm)
+disables them all.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.timeseries import TimeSeries
+from .goals import AffinityGoal, CapacityGoal, Goal, SpreadGoal
+from .problem import PlacementProblem
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Budget and optimization knobs for one solve."""
+
+    time_budget: float = 60.0          # wall-clock seconds
+    move_budget: int = 1_000_000
+    candidate_samples: int = 24        # move targets evaluated per replica
+    max_replicas_per_server: int = 8   # replicas tried per hot server per round
+    grouped_sampling: bool = True
+    large_first: bool = True
+    equivalence_classes: bool = True
+    priority_batches: bool = True
+    allow_swaps: bool = True
+    trace_interval: int = 64           # record a trace point every N moves
+    rng_seed: int = 0
+
+    def without_optimizations(self) -> "SearchConfig":
+        return replace(self, grouped_sampling=False, large_first=False,
+                       equivalence_classes=False, priority_batches=False,
+                       allow_swaps=False)
+
+
+OPTIMIZED = SearchConfig()
+BASELINE = SearchConfig().without_optimizations()
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solve."""
+
+    moves: int = 0
+    swaps: int = 0
+    evaluations: int = 0
+    initial_violations: int = 0
+    final_violations: int = 0
+    solve_time: float = 0.0
+    timed_out: bool = False
+    trace: TimeSeries = field(default_factory=lambda: TimeSeries(name="violations"))
+    changed_replicas: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        return self.final_violations == 0
+
+
+class LocalSearch:
+    """One solver instance bound to a problem and compiled goals."""
+
+    def __init__(self, problem: PlacementProblem, goals: Sequence[Goal],
+                 config: SearchConfig = OPTIMIZED) -> None:
+        if not goals:
+            raise ValueError("at least one goal is required")
+        self.problem = problem
+        self.goals = sorted(goals, key=lambda g: g.priority)
+        self.config = config
+        self.rng = random.Random(config.rng_seed)
+        self.capacity_goals = [g for g in self.goals if isinstance(g, CapacityGoal)]
+        self._affinity = next((g for g in self.goals
+                               if isinstance(g, AffinityGoal)), None)
+        self._spreads = [g for g in self.goals if isinstance(g, SpreadGoal)]
+        # Server groups for grouped sampling: one bucket per region, kept
+        # index-aligned with problem.region_names (a region with no live
+        # servers keeps an empty bucket).
+        num_regions = len(problem.region_names)
+        self._groups: List[List[int]] = [[] for _ in range(num_regions)]
+        for server, region in enumerate(problem.server_region):
+            self._groups[region].append(server)
+        self._all_servers = list(range(len(problem.servers)))
+
+    # -- public entry point -----------------------------------------------------
+
+    def solve(self) -> SolveResult:
+        result = SolveResult()
+        start = time.perf_counter()
+        self._start_wall = start
+        deadline = start + self.config.time_budget
+        result.initial_violations = self.total_violations()
+        result.trace.record(0.0, result.initial_violations)
+        before = self.problem.copy_assignment()
+
+        if self.config.priority_batches:
+            batches = self._priority_batches()
+        else:
+            batches = [list(self.goals)]
+
+        for batch_index, batch in enumerate(batches):
+            # Earlier batches get the larger share of the remaining budget
+            # ("earlier batches ... can use search timeouts longer than later
+            # batches' timeouts", §5.3).
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                result.timed_out = True
+                break
+            if self.config.priority_batches and batch_index < len(batches) - 1:
+                batch_deadline = time.perf_counter() + remaining * 0.5
+            else:
+                batch_deadline = deadline
+            higher = [g for g in self.goals
+                      if g.priority < min(goal.priority for goal in batch)]
+            self._solve_batch(batch, higher, batch_deadline, result)
+
+        result.solve_time = time.perf_counter() - start
+        result.final_violations = self.total_violations()
+        result.trace.record(result.solve_time, result.final_violations)
+        result.changed_replicas = self.problem.assignment_diff(before)
+        if result.solve_time >= self.config.time_budget:
+            result.timed_out = True
+        return result
+
+    def total_violations(self) -> int:
+        return sum(g.violations() for g in self.goals)
+
+    # -- batching ----------------------------------------------------------------
+
+    def _priority_batches(self) -> List[List[Goal]]:
+        batches: Dict[int, List[Goal]] = {}
+        for goal in self.goals:
+            batches.setdefault(goal.priority, []).append(goal)
+        return [batches[p] for p in sorted(batches)]
+
+    # -- core loop ----------------------------------------------------------------
+
+    def _solve_batch(self, batch: List[Goal], higher: List[Goal],
+                     deadline: float, result: SolveResult) -> None:
+        config = self.config
+        stall_rounds = 0
+        while True:
+            if time.perf_counter() >= deadline:
+                result.timed_out = True
+                return
+            if result.moves + result.swaps >= config.move_budget:
+                return
+            for goal in batch:
+                goal.refresh()
+            hot_servers = self._hot_servers(batch)
+            if not hot_servers:
+                return
+            progressed = False
+            for server in hot_servers:
+                if time.perf_counter() >= deadline:
+                    result.timed_out = True
+                    return
+                if result.moves + result.swaps >= config.move_budget:
+                    return
+                if self._improve_server(server, batch, higher, result):
+                    progressed = True
+            if progressed:
+                stall_rounds = 0
+            else:
+                stall_rounds += 1
+                if stall_rounds >= 2:
+                    return  # no improving move found twice in a row: converged
+
+    def _hot_servers(self, batch: List[Goal]) -> List[int]:
+        ordered: List[int] = []
+        seen = set()
+        for goal in batch:
+            for server in goal.violating_servers():
+                if server not in seen:
+                    seen.add(server)
+                    ordered.append(server)
+        return ordered
+
+    # -- per-server improvement ------------------------------------------------------
+
+    def _improve_server(self, server: int, batch: List[Goal],
+                        higher: List[Goal], result: SolveResult) -> bool:
+        replicas = self._candidate_replicas(server, batch)
+        for replica in replicas:
+            target = self._best_target(replica, server, batch, higher, result)
+            if target is not None:
+                self._apply_move(replica, server, target, result)
+                return True
+        if self.config.allow_swaps and replicas:
+            return self._try_swap(server, replicas[0], batch, higher, result)
+        return False
+
+    def _candidate_replicas(self, server: int, batch: List[Goal]) -> List[int]:
+        pinned = self.problem.replica_pinned
+        replicas = [r for r in self.problem.replicas_on[server]
+                    if not pinned[r]
+                    and any(goal.contributes(r) for goal in batch)]
+        if not replicas:
+            return []
+        config = self.config
+        if config.large_first:
+            loads = self.problem.loads
+            capacity = self.problem.capacity[server]
+            def size(replica: int) -> float:
+                load = loads[replica]
+                return sum(load[m] / capacity[m] if capacity[m] > 0 else 0.0
+                           for m in range(self.problem.num_metrics))
+            replicas.sort(key=size, reverse=True)
+        else:
+            self.rng.shuffle(replicas)
+        if config.equivalence_classes:
+            replicas = self._dedup_equivalent(replicas)
+        return replicas[:config.max_replicas_per_server]
+
+    def _dedup_equivalent(self, replicas: List[int]) -> List[int]:
+        """Keep one representative per equivalence class.
+
+        Two replicas on the same server are interchangeable when they have
+        the same (quantized) load vector, the same regional preference, and
+        the same spread situation; evaluating one of them covers the class
+        ("it figures out from the mathematical formula which shards are
+        equivalent to one another and reuses the computation", §5.3).
+        """
+        seen = set()
+        kept = []
+        for replica in replicas:
+            load_key = tuple(round(v, 6) for v in self.problem.loads[replica])
+            pref_key = (self._affinity.pref_region[replica]
+                        if self._affinity is not None else -1)
+            spread_key = tuple(goal.crowded(replica) for goal in self._spreads)
+            key = (load_key, pref_key, spread_key)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(replica)
+        return kept
+
+    # -- target selection -----------------------------------------------------------
+
+    def _sample_targets(self, replica: int, src: int) -> List[int]:
+        config = self.config
+        rng = self.rng
+        if not config.grouped_sampling:
+            count = min(config.candidate_samples, len(self._all_servers))
+            return rng.sample(self._all_servers, count)
+        targets: List[int] = []
+        # Domain knowledge 1: replicas with a region preference get targets
+        # in that region first.
+        if self._affinity is not None:
+            pref = self._affinity.preferred_region_of(replica)
+            if pref != -1 and pref < len(self._groups) and self._groups[pref]:
+                group = self._groups[pref]
+                take = min(max(2, config.candidate_samples // 3), len(group))
+                targets.extend(rng.sample(group, take))
+        # Grouped sampling: an even number of candidates from every region
+        # group ("sampling across groups has a better chance of finding a
+        # suitable move target for goals such as region preference and
+        # spread of replicas", §5.3).
+        remaining = config.candidate_samples - len(targets)
+        nonempty_groups = [group for group in self._groups if group]
+        if remaining > 0 and nonempty_groups:
+            per_group = max(1, remaining // len(nonempty_groups))
+            for group in nonempty_groups:
+                take = min(per_group, len(group))
+                targets.extend(rng.sample(group, take))
+        # Deduplicate, drop the source.
+        seen = set()
+        unique = []
+        for server in targets:
+            if server != src and server not in seen:
+                seen.add(server)
+                unique.append(server)
+        return unique
+
+    def _best_target(self, replica: int, src: int, batch: List[Goal],
+                     higher: List[Goal], result: SolveResult) -> Optional[int]:
+        best_delta = -1e-9
+        best_target: Optional[int] = None
+        for target in self._sample_targets(replica, src):
+            if self.problem.server_draining[target]:
+                continue
+            if not self._fits(replica, target):
+                continue
+            result.evaluations += 1
+            if any(goal.move_delta(replica, src, target) > 1e-9 for goal in higher):
+                continue  # never deteriorate already-solved batches
+            delta = sum(goal.weight * goal.move_delta(replica, src, target)
+                        for goal in batch)
+            if delta < best_delta:
+                best_delta = delta
+                best_target = target
+        return best_target
+
+    def _fits(self, replica: int, target: int) -> bool:
+        return all(goal.fits(replica, target) for goal in self.capacity_goals)
+
+    # -- applying moves ---------------------------------------------------------------
+
+    def _apply_move(self, replica: int, src: int, dst: int,
+                    result: SolveResult) -> None:
+        self.problem.move(replica, dst)
+        for goal in self.goals:
+            goal.on_move(replica, src, dst)
+        result.moves += 1
+        if result.moves % self.config.trace_interval == 0:
+            result.trace.record(time.perf_counter() - self._start_wall,
+                                self.total_violations())
+
+    # -- swaps -------------------------------------------------------------------------
+
+    def _try_swap(self, hot: int, hot_replica: int, batch: List[Goal],
+                  higher: List[Goal], result: SolveResult) -> bool:
+        """Two-way swap: big replica off the hot server, small one back.
+
+        Tried only when no single move improves ("in addition to moving
+        individual shards, it may consider two-way (or n-way) swapping of
+        shards", §5.3).
+        """
+        problem = self.problem
+        for cold in self._sample_targets(hot_replica, hot)[:6]:
+            cold_replicas = [r for r in problem.replicas_on[cold]
+                             if not problem.replica_pinned[r]]
+            if not cold_replicas:
+                continue
+            cold_replica = min(
+                cold_replicas,
+                key=lambda r: sum(problem.loads[r]))
+            if cold_replica == hot_replica:
+                continue
+            delta = 0.0
+            ok = True
+            for goal in higher + batch:
+                move_out = goal.move_delta(hot_replica, hot, cold)
+                move_in = goal.move_delta(cold_replica, cold, hot)
+                combined = move_out + move_in
+                if goal in higher and combined > 1e-9:
+                    ok = False
+                    break
+                if goal in batch:
+                    delta += goal.weight * combined
+            if not ok or delta >= -1e-9:
+                continue
+            # Capacity check for the pair (approximate: apply out first).
+            if not self._fits(hot_replica, cold):
+                continue
+            self.problem.move(hot_replica, cold)
+            for goal in self.goals:
+                goal.on_move(hot_replica, hot, cold)
+            if not self._fits(cold_replica, hot):
+                # Roll back: the swap-in does not fit after all.
+                self.problem.move(hot_replica, hot)
+                for goal in self.goals:
+                    goal.on_move(hot_replica, cold, hot)
+                continue
+            self.problem.move(cold_replica, hot)
+            for goal in self.goals:
+                goal.on_move(cold_replica, cold, hot)
+            result.swaps += 1
+            return True
+        return False

@@ -1,0 +1,211 @@
+"""Placement-problem model shared by the solver and SM's allocator.
+
+A problem is a set of *servers* (capacity vector over named metrics,
+located in a fault-domain hierarchy) and a set of *replicas* (load vector,
+shard membership, optional regional preference) with a current
+assignment.  The solver mutates the assignment; SM's allocator translates
+the result into shard-migration operations.
+
+Internally everything is index-based (server index, replica index) with
+plain Python lists on the hot path — the metric vectors are tiny (2–3
+entries), where list/tuple arithmetic beats numpy row views by a wide
+margin.  numpy is used for bulk statistics only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """Static description of one server in a placement problem."""
+
+    name: str
+    region: str
+    capacity: Tuple[float, ...]
+    datacenter: str = ""
+    rack: str = ""
+    draining: bool = False  # pending maintenance / upgrade (soft goal 3)
+
+
+@dataclass(frozen=True)
+class ReplicaInfo:
+    """One assignable shard replica.
+
+    ``pinned`` replicas contribute load but must not be moved (e.g. a
+    secondary on a draining server whose app chose not to drain
+    secondaries, §2.2.5).
+    """
+
+    name: str
+    shard: str
+    load: Tuple[float, ...]
+    preferred_region: Optional[str] = None
+    preference_weight: float = 1.0
+    pinned: bool = False
+
+
+class PlacementProblem:
+    """Index-based problem state, built once, mutated by the solver."""
+
+    def __init__(self, metrics: Sequence[str], servers: Sequence[ServerInfo],
+                 replicas: Sequence[ReplicaInfo],
+                 assignment: Optional[Sequence[int]] = None) -> None:
+        if not metrics:
+            raise ValueError("at least one metric is required")
+        if not servers:
+            raise ValueError("at least one server is required")
+        self.metrics = list(metrics)
+        self.num_metrics = len(self.metrics)
+        self.servers = list(servers)
+        self.replicas = list(replicas)
+
+        for server in self.servers:
+            if len(server.capacity) != self.num_metrics:
+                raise ValueError(
+                    f"server {server.name}: capacity has {len(server.capacity)} "
+                    f"entries, expected {self.num_metrics}")
+        for replica in self.replicas:
+            if len(replica.load) != self.num_metrics:
+                raise ValueError(
+                    f"replica {replica.name}: load has {len(replica.load)} "
+                    f"entries, expected {self.num_metrics}")
+
+        self.capacity: List[Tuple[float, ...]] = [s.capacity for s in self.servers]
+        self.loads: List[Tuple[float, ...]] = [r.load for r in self.replicas]
+
+        # Domain indices for spread/affinity goals.  Preferred regions are
+        # included even when no live server is there (a whole-region outage
+        # must not make the problem unbuildable — the preference is simply
+        # unsatisfiable until the region returns).
+        region_names = {s.region for s in self.servers}
+        region_names.update(r.preferred_region for r in self.replicas
+                            if r.preferred_region is not None)
+        self.region_names = sorted(region_names)
+        self._region_index = {name: i for i, name in enumerate(self.region_names)}
+        self.server_region: List[int] = [self._region_index[s.region]
+                                         for s in self.servers]
+        self.dc_names = sorted({s.datacenter for s in self.servers})
+        self._dc_index = {name: i for i, name in enumerate(self.dc_names)}
+        self.server_dc: List[int] = [self._dc_index[s.datacenter]
+                                     for s in self.servers]
+        self.rack_names = sorted({s.rack for s in self.servers})
+        self._rack_index = {name: i for i, name in enumerate(self.rack_names)}
+        self.server_rack: List[int] = [self._rack_index[s.rack]
+                                       for s in self.servers]
+        self.server_draining: List[bool] = [s.draining for s in self.servers]
+
+        self.shard_of: List[int] = []
+        self.shard_names: List[str] = []
+        shard_index: Dict[str, int] = {}
+        for replica in self.replicas:
+            if replica.shard not in shard_index:
+                shard_index[replica.shard] = len(self.shard_names)
+                self.shard_names.append(replica.shard)
+            self.shard_of.append(shard_index[replica.shard])
+
+        self.replica_pinned: List[bool] = [r.pinned for r in self.replicas]
+        self.replica_pref_region: List[int] = []
+        self.replica_pref_weight: List[float] = []
+        for replica in self.replicas:
+            if replica.preferred_region is None:
+                self.replica_pref_region.append(-1)
+                self.replica_pref_weight.append(0.0)
+            else:
+                if replica.preferred_region not in self._region_index:
+                    raise ValueError(
+                        f"replica {replica.name}: unknown preferred region "
+                        f"{replica.preferred_region!r}")
+                self.replica_pref_region.append(
+                    self._region_index[replica.preferred_region])
+                self.replica_pref_weight.append(replica.preference_weight)
+
+        # Assignment state.
+        num_servers = len(self.servers)
+        if assignment is None:
+            self.assignment: List[int] = [-1] * len(self.replicas)
+        else:
+            if len(assignment) != len(self.replicas):
+                raise ValueError("assignment length must match replica count")
+            for server_idx in assignment:
+                if server_idx != -1 and not 0 <= server_idx < num_servers:
+                    raise ValueError(f"assignment references server {server_idx}")
+            self.assignment = list(assignment)
+
+        self.usage: List[List[float]] = [[0.0] * self.num_metrics
+                                         for _ in range(num_servers)]
+        self.replicas_on: List[set] = [set() for _ in range(num_servers)]
+        for replica_idx, server_idx in enumerate(self.assignment):
+            if server_idx != -1:
+                self._add_usage(replica_idx, server_idx)
+
+    # -- assignment mutation -------------------------------------------------
+
+    def _add_usage(self, replica_idx: int, server_idx: int) -> None:
+        load = self.loads[replica_idx]
+        row = self.usage[server_idx]
+        for m in range(self.num_metrics):
+            row[m] += load[m]
+        self.replicas_on[server_idx].add(replica_idx)
+
+    def _remove_usage(self, replica_idx: int, server_idx: int) -> None:
+        load = self.loads[replica_idx]
+        row = self.usage[server_idx]
+        for m in range(self.num_metrics):
+            row[m] -= load[m]
+        self.replicas_on[server_idx].discard(replica_idx)
+
+    def move(self, replica_idx: int, target_server: int) -> None:
+        """Reassign one replica (the solver's elementary operation)."""
+        current = self.assignment[replica_idx]
+        if current == target_server:
+            return
+        if current != -1:
+            self._remove_usage(replica_idx, current)
+        self.assignment[replica_idx] = target_server
+        if target_server != -1:
+            self._add_usage(replica_idx, target_server)
+
+    # -- statistics -----------------------------------------------------------
+
+    def utilization(self) -> np.ndarray:
+        """(servers × metrics) utilization fractions."""
+        cap = np.asarray(self.capacity, dtype=float)
+        use = np.asarray(self.usage, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(cap > 0, use / cap, 0.0)
+        return util
+
+    def mean_utilization(self) -> List[float]:
+        """Fleet-average utilization per metric (total load / total capacity).
+
+        Invariant under moves, which makes balance-goal deltas cheap.
+        """
+        out = []
+        for m in range(self.num_metrics):
+            total_cap = sum(c[m] for c in self.capacity)
+            total_use = sum(u[m] for u in self.usage)
+            out.append(total_use / total_cap if total_cap > 0 else 0.0)
+        return out
+
+    def random_assignment(self, rng: random.Random) -> None:
+        """Uniform random placement — Fig 21's stress-test initial state."""
+        num_servers = len(self.servers)
+        for replica_idx in range(len(self.replicas)):
+            self.move(replica_idx, rng.randrange(num_servers))
+
+    def copy_assignment(self) -> List[int]:
+        return list(self.assignment)
+
+    def assignment_diff(self, baseline: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """(replica, old_server, new_server) for every changed replica."""
+        if len(baseline) != len(self.assignment):
+            raise ValueError("baseline length mismatch")
+        return [(r, old, new)
+                for r, (old, new) in enumerate(zip(baseline, self.assignment))
+                if old != new]

@@ -1,0 +1,55 @@
+"""Workload and fleet generators used by experiments and benchmarks."""
+
+from .fleet import (
+    Breakdown,
+    SyntheticApp,
+    adoption_curve,
+    deployment_breakdown,
+    drain_breakdown,
+    generate_fleet,
+    lb_policy_breakdown,
+    replication_breakdown,
+    scale_scatter,
+    scheme_breakdown,
+    storage_breakdown,
+)
+from .load import (
+    DAY,
+    DiurnalCurve,
+    noisy,
+    static_shard_loads,
+    zipfian_key_sampler,
+)
+from .snapshots import (
+    PAPER_SCALES,
+    ZIPPYDB_METRICS,
+    SnapshotScale,
+    attach_zippydb_goals,
+    scaled,
+    zippydb_snapshot,
+)
+
+__all__ = [
+    "Breakdown",
+    "SyntheticApp",
+    "adoption_curve",
+    "deployment_breakdown",
+    "drain_breakdown",
+    "generate_fleet",
+    "lb_policy_breakdown",
+    "replication_breakdown",
+    "scale_scatter",
+    "scheme_breakdown",
+    "storage_breakdown",
+    "DAY",
+    "DiurnalCurve",
+    "noisy",
+    "static_shard_loads",
+    "zipfian_key_sampler",
+    "PAPER_SCALES",
+    "ZIPPYDB_METRICS",
+    "SnapshotScale",
+    "attach_zippydb_goals",
+    "scaled",
+    "zippydb_snapshot",
+]

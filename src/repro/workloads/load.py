@@ -1,0 +1,89 @@
+"""Load shapes: diurnal curves and skewed per-shard load assignment.
+
+Figures 18 and 23 are driven by Facebook's real diurnal traffic ("the
+client request rate ... follows a diurnal pattern", "the ever-changing
+load driven by billions of Facebook product users' realtime activities").
+:class:`DiurnalCurve` reproduces that shape: a day-period sinusoid with
+optional noise, normalized so ``base`` is the trough and ``peak`` the
+crest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """rate(t): trough-to-crest sinusoid with period one (simulated) day."""
+
+    base: float
+    peak: float
+    period: float = DAY
+    phase: float = 0.0  # seconds after t=0 when the curve crosses its mean
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.peak < self.base:
+            raise ValueError("need 0 <= base <= peak")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def __call__(self, t: float) -> float:
+        mean = (self.base + self.peak) / 2.0
+        amplitude = (self.peak - self.base) / 2.0
+        return mean + amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / self.period)
+
+
+def noisy(curve: Callable[[float], float], rng: random.Random,
+          fraction: float = 0.05) -> Callable[[float], float]:
+    """Multiplicative uniform noise on top of any rate curve."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("noise fraction must be in [0, 1)")
+
+    def wrapped(t: float) -> float:
+        return curve(t) * (1.0 + rng.uniform(-fraction, fraction))
+
+    return wrapped
+
+
+def zipfian_key_sampler(key_space: int, skew: float = 1.1,
+                        hot_keys: int = 1000) -> Callable[[random.Random], int]:
+    """Key sampler with a Zipf-ish hot set: a fraction of traffic
+    concentrates on ``hot_keys`` keys, the rest is uniform.
+
+    Shard-level load skew in production comes from key popularity; this
+    sampler gives experiments a realistic hot/cold shard mix.
+    """
+    if key_space < 1:
+        raise ValueError("key_space must be >= 1")
+    hot_keys = min(hot_keys, key_space)
+    hot_fraction = min(0.9, 1.0 - 1.0 / skew) if skew > 1.0 else 0.0
+
+    def sample(rng: random.Random) -> int:
+        if hot_fraction and rng.random() < hot_fraction:
+            return rng.randrange(hot_keys)
+        return rng.randrange(key_space)
+
+    return sample
+
+
+def static_shard_loads(rng: random.Random, shard_ids: Sequence[str],
+                       metrics: Sequence[str], skew: float = 20.0,
+                       mean: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Per-shard static load vectors with max/min ratio ≈ ``skew``
+    (Fig 21: "the largest shard's load is 20 times higher than that of
+    the smallest shard").  Metrics are correlated but not identical."""
+    from ..sim.rng import skewed_loads
+
+    base = skewed_loads(rng, len(shard_ids), skew=skew, mean=mean)
+    loads: Dict[str, Dict[str, float]] = {}
+    for shard_id, value in zip(shard_ids, base):
+        loads[shard_id] = {
+            metric: value * rng.uniform(0.7, 1.3) for metric in metrics}
+    return loads

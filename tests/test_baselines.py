@@ -1,0 +1,101 @@
+"""Unit tests for the legacy sharding baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.consistent_hashing import ConsistentHashRing
+from repro.baselines.static_sharding import StaticSharding
+
+
+class TestStaticSharding:
+    def test_modulo_routing(self):
+        sharding = StaticSharding(10)
+        assert sharding.task_for_key(0) == 0
+        assert sharding.task_for_key(25) == 5
+
+    def test_invalid_task_count(self):
+        with pytest.raises(ValueError):
+            StaticSharding(0)
+
+    def test_resharding_moves_most_keys(self):
+        sharding = StaticSharding(10)
+        keys = list(range(10_000))
+        impact = sharding.reshard(11, keys)
+        assert impact.moved_fraction > 0.8  # co-prime resize moves ~all
+        assert sharding.total_tasks == 11
+
+    def test_resharding_to_multiple_moves_fewer(self):
+        sharding = StaticSharding(10)
+        keys = list(range(10_000))
+        impact = sharding.reshard(20, keys)
+        assert impact.moved_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_reshard_needs_samples(self):
+        with pytest.raises(ValueError):
+            StaticSharding(10).reshard(11, [])
+
+    def test_load_distribution_uniform_for_sequential_keys(self):
+        sharding = StaticSharding(10)
+        counts = sharding.load_distribution(range(1000))
+        assert all(count == 100 for count in counts.values())
+
+
+class TestConsistentHashRing:
+    def test_routing_is_stable(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        owner = ring.node_for_key(12345)
+        assert ring.node_for_key(12345) == owner
+
+    def test_all_nodes_get_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=200)
+        counts = ring.load_distribution(range(3000))
+        assert all(count > 0 for count in counts.values())
+
+    def test_balance_with_virtual_nodes(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=300)
+        counts = ring.load_distribution(range(20_000))
+        mean = 5000
+        for count in counts.values():
+            assert 0.6 * mean < count < 1.4 * mean
+
+    def test_adding_node_moves_about_one_over_n(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(9)],
+                                  virtual_nodes=200)
+        moved = ring.movement_on_change(range(20_000), add=["n9"])
+        assert moved == pytest.approx(1 / 10, abs=0.05)
+
+    def test_removing_node_moves_only_its_keys(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(10)],
+                                  virtual_nodes=200)
+        before = ring.load_distribution(range(20_000))
+        moved = ring.movement_on_change(range(20_000), remove=["n0"])
+        assert moved == pytest.approx(before["n0"] / 20_000, abs=0.01)
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            ConsistentHashRing(["a"]).remove_node("b")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().node_for_key(1)
+
+    def test_len_and_nodes(self):
+        ring = ConsistentHashRing(["b", "a"])
+        assert len(ring) == 2
+        assert ring.nodes() == ["a", "b"]
+
+    def test_static_vs_consistent_on_resize(self):
+        """The §2.2.1 comparison: consistent hashing's churn advantage."""
+        keys = list(range(10_000))
+        static = StaticSharding(10)
+        static_moved = static.reshard(11, keys).moved_fraction
+        ring = ConsistentHashRing([f"n{i}" for i in range(10)],
+                                  virtual_nodes=200)
+        ch_moved = ring.movement_on_change(keys, add=["n10"])
+        assert ch_moved < static_moved / 3

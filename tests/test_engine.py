@@ -1,0 +1,321 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Delay,
+    Engine,
+    Process,
+    Signal,
+    SimulationError,
+    Wait,
+    every,
+)
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Engine().now == 0.0
+
+    def test_call_after_advances_clock(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_call_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(2.0, lambda: seen.append("b"))
+        engine.call_after(1.0, lambda: seen.append("a"))
+        engine.call_after(3.0, lambda: seen.append("c"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        engine = Engine()
+        seen = []
+        for label in "abc":
+            engine.call_after(1.0, lambda l=label: seen.append(l))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_scheduling_in_the_past_raises(self):
+        engine = Engine()
+        engine.call_after(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().call_after(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(1.0, lambda: seen.append(1))
+        engine.call_after(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+
+    def test_run_until_tiles_time(self):
+        engine = Engine()
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_events_resume_after_partial_run(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        engine.run()
+        assert seen == [10]
+
+    def test_cancel_prevents_callback(self):
+        engine = Engine()
+        seen = []
+        handle = engine.call_after(1.0, lambda: seen.append(1))
+        handle.cancel()
+        engine.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.call_after(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_max_events_limits_execution(self):
+        engine = Engine()
+        seen = []
+        for i in range(5):
+            engine.call_after(float(i + 1), lambda i=i: seen.append(i))
+        engine.run(max_events=2)
+        assert seen == [0, 1]
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_processed_events_counter(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.call_after(1.0, lambda: None)
+        engine.run()
+        assert engine.processed_events == 3
+
+    def test_callback_may_schedule_more_events(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            engine.call_after(1.0, lambda: seen.append("second"))
+
+        engine.call_after(1.0, first)
+        engine.run()
+        assert seen == ["first", "second"]
+        assert engine.now == 2.0
+
+    def test_reentrant_run_raises(self):
+        engine = Engine()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        engine.call_after(1.0, nested)
+        engine.run()
+
+
+class TestProcesses:
+    def test_process_delays(self):
+        engine = Engine()
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield Delay(2.0)
+            trace.append(engine.now)
+            yield Delay(3.0)
+            trace.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_result(self):
+        engine = Engine()
+
+        def proc():
+            yield Delay(1.0)
+            return 42
+
+        process = engine.process(proc())
+        engine.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_process_waits_on_signal(self):
+        engine = Engine()
+        signal = Signal(engine)
+        values = []
+
+        def waiter():
+            value = yield Wait(signal)
+            values.append(value)
+
+        engine.process(waiter())
+        engine.call_after(5.0, lambda: signal.fire("hello"))
+        engine.run()
+        assert values == ["hello"]
+
+    def test_signal_wakes_all_waiters(self):
+        engine = Engine()
+        signal = Signal(engine)
+        woken = []
+
+        def waiter(name):
+            yield Wait(signal)
+            woken.append(name)
+
+        engine.process(waiter("a"))
+        engine.process(waiter("b"))
+        engine.call_after(1.0, lambda: signal.fire())
+        engine.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_signal_fires_multiple_times(self):
+        engine = Engine()
+        signal = Signal(engine)
+        engine.call_after(1.0, lambda: signal.fire(1))
+        engine.call_after(2.0, lambda: signal.fire(2))
+        engine.run()
+        assert signal.fire_count == 2
+        assert signal.last_value == 2
+
+    def test_process_joins_another_process(self):
+        engine = Engine()
+
+        def inner():
+            yield Delay(3.0)
+            return "inner-result"
+
+        def outer():
+            inner_process = engine.process(inner())
+            result = yield inner_process
+            return ("outer", result, engine.now)
+
+        outer_process = engine.process(outer())
+        engine.run()
+        assert outer_process.result == ("outer", "inner-result", 3.0)
+
+    def test_joining_finished_process_returns_immediately(self):
+        engine = Engine()
+
+        def quick():
+            return "done"
+            yield  # pragma: no cover
+
+        def outer(target):
+            result = yield target
+            return result
+
+        quick_process = engine.process(quick())
+        assert quick_process.finished
+        outer_process = engine.process(outer(quick_process))
+        engine.run()
+        assert outer_process.result == "done"
+
+    def test_yielding_garbage_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 12345
+
+        with pytest.raises(SimulationError):
+            engine.process(bad())
+
+    def test_process_exception_propagates(self):
+        engine = Engine()
+
+        def boom():
+            yield Delay(1.0)
+            raise ValueError("boom")
+
+        engine.process(boom())
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_done_signal_fires_on_completion(self):
+        engine = Engine()
+        results = []
+
+        def proc():
+            yield Delay(1.0)
+            return "x"
+
+        process = engine.process(proc())
+        process.done_signal._add_waiter(results.append)
+        engine.run()
+        assert results == ["x"]
+
+
+class TestEvery:
+    def test_fires_periodically(self):
+        engine = Engine()
+        ticks = []
+        every(engine, 10.0, lambda: ticks.append(engine.now))
+        engine.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_stopper_ends_the_loop(self):
+        engine = Engine()
+        ticks = []
+        stop = every(engine, 10.0, lambda: ticks.append(engine.now))
+        engine.call_at(25.0, stop)
+        engine.run(until=100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_start_after_overrides_first_interval(self):
+        engine = Engine()
+        ticks = []
+        every(engine, 10.0, lambda: ticks.append(engine.now), start_after=1.0)
+        engine.run(until=25.0)
+        assert ticks == [1.0, 11.0, 21.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            every(Engine(), 0.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            engine = Engine()
+            trace = []
+
+            def proc(name):
+                for _ in range(3):
+                    yield Delay(1.5)
+                    trace.append((name, engine.now))
+
+            engine.process(proc("a"))
+            engine.process(proc("b"))
+            engine.run()
+            return trace
+
+        assert build() == build()

@@ -1,0 +1,154 @@
+"""Unit tests for the migration executor's protocol sequences."""
+
+import pytest
+
+from repro.app.server import HostedState
+from repro.core.orchestrator import OrchestratorConfig
+from repro.core.shard_map import ReplicaState, Role
+from repro.core.spec import AppSpec, ReplicationStrategy, uniform_shards
+from repro.harness import SimCluster, deploy_app
+
+
+def make_app(replication=ReplicationStrategy.PRIMARY_ONLY, shards=4,
+             servers=4, replica_count=None):
+    cluster = SimCluster.build(regions=("FRC",),
+                               machines_per_region=servers + 2, seed=19)
+    if replica_count is None:
+        replica_count = (1 if replication is ReplicationStrategy.PRIMARY_ONLY
+                         else 2)
+    spec = AppSpec(
+        name="app",
+        shards=uniform_shards(shards, shards * 10,
+                              replica_count=replica_count),
+        replication=replication)
+    app = deploy_app(cluster, spec, {"FRC": servers},
+                     orchestrator_config=OrchestratorConfig(
+                         rebalance_enabled=False, failover_grace=15.0),
+                     settle=60.0)
+    return cluster, app
+
+
+def fresh_target(app, shard_id):
+    taken = {r.address for r in app.orchestrator.table.replicas_of(shard_id)}
+    return next(address for address in sorted(app.orchestrator.servers)
+                if address not in taken)
+
+
+class TestGracefulMigration:
+    def test_five_step_handover(self):
+        cluster, app = make_app()
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        process = cluster.engine.process(
+            executor.graceful_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        new = app.orchestrator.table.primary_of("shard0")
+        assert new.address == target
+        assert new.state is ReplicaState.READY
+        # The old server keeps a forwarding entry through the grace window.
+        old_server = app.runtime.server_at(old.address)
+        hosted = old_server.hosted("shard0")
+        assert hosted is None or hosted.state is HostedState.FORWARDING
+        assert executor.stats.graceful_migrations == 1
+
+    def test_refuses_sibling_colocation(self):
+        cluster, app = make_app(
+            replication=ReplicationStrategy.PRIMARY_SECONDARY)
+        executor = app.orchestrator.executor
+        primary = app.orchestrator.table.primary_of("shard0")
+        sibling = next(r for r in app.orchestrator.table.replicas_of("shard0")
+                       if r.role is Role.SECONDARY)
+        process = cluster.engine.process(
+            executor.graceful_primary_migration(primary, sibling.address))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is False
+        assert app.orchestrator.table.primary_of(
+            "shard0").address == primary.address
+
+    def test_target_failure_reinstates_old_primary(self):
+        cluster, app = make_app()
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        # Kill the target before the migration reaches it.
+        cluster.network.set_endpoint_up(target, False)
+        process = cluster.engine.process(
+            executor.graceful_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 20.0)
+        assert process.result is False
+        current = app.orchestrator.table.primary_of("shard0")
+        assert current.address == old.address
+        assert current.state is ReplicaState.READY
+
+
+class TestAbruptMigration:
+    def test_handover_without_forwarding(self):
+        cluster, app = make_app()
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        process = cluster.engine.process(
+            executor.abrupt_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        assert app.orchestrator.table.primary_of("shard0").address == target
+        # No forwarding entry remains on the old server.
+        old_server = app.runtime.server_at(old.address)
+        assert old_server.hosted("shard0") is None
+        assert executor.stats.abrupt_migrations == 1
+
+
+class TestSecondaryMove:
+    def test_make_before_break(self):
+        cluster, app = make_app(
+            replication=ReplicationStrategy.PRIMARY_SECONDARY)
+        executor = app.orchestrator.executor
+        secondary = next(r for r in app.orchestrator.table.replicas_of(
+            "shard0") if r.role is Role.SECONDARY)
+        target = fresh_target(app, "shard0")
+        process = cluster.engine.process(
+            executor.move_secondary(secondary, target))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        addresses = {r.address for r in app.orchestrator.table.replicas_of(
+            "shard0")}
+        assert target in addresses
+        assert secondary.address not in addresses
+
+
+class TestRoleChanges:
+    def test_promote_demotes_current_primary(self):
+        cluster, app = make_app(
+            replication=ReplicationStrategy.PRIMARY_SECONDARY)
+        executor = app.orchestrator.executor
+        table = app.orchestrator.table
+        old_primary = table.primary_of("shard0")
+        secondary = next(r for r in table.replicas_of("shard0")
+                         if r.role is Role.SECONDARY)
+        process = cluster.engine.process(executor.promote(secondary))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        assert table.primary_of("shard0").replica_id == secondary.replica_id
+        assert table.get(old_primary.replica_id).role is Role.SECONDARY
+        # Server-side roles agree.
+        server = app.runtime.server_at(secondary.address)
+        assert server.hosted("shard0").role is Role.PRIMARY
+
+    def test_create_and_drop_replica(self):
+        cluster, app = make_app(
+            replication=ReplicationStrategy.PRIMARY_SECONDARY)
+        executor = app.orchestrator.executor
+        target = fresh_target(app, "shard1")
+        process = cluster.engine.process(
+            executor.create_replica("shard1", target, Role.SECONDARY))
+        cluster.run(until=cluster.engine.now + 5.0)
+        assert process.result is True
+        created = next(r for r in app.orchestrator.table.replicas_of("shard1")
+                       if r.address == target)
+        drop = cluster.engine.process(executor.drop_replica(created))
+        cluster.run(until=cluster.engine.now + 5.0)
+        assert drop.result is True
+        assert all(r.address != target
+                   for r in app.orchestrator.table.replicas_of("shard1"))

@@ -1,0 +1,144 @@
+"""Unit tests for the placement-problem model."""
+
+import random
+
+import pytest
+
+from repro.solver.problem import PlacementProblem, ReplicaInfo, ServerInfo
+
+
+def small_problem(num_servers=4, num_replicas=8, metrics=("cpu",),
+                  regions=("A", "B")):
+    servers = [
+        ServerInfo(name=f"s{i}", region=regions[i % len(regions)],
+                   datacenter=f"dc{i % 2}", rack=f"r{i}",
+                   capacity=tuple(100.0 for _ in metrics))
+        for i in range(num_servers)
+    ]
+    replicas = [
+        ReplicaInfo(name=f"r{i}", shard=f"sh{i // 2}",
+                    load=tuple(10.0 for _ in metrics))
+        for i in range(num_replicas)
+    ]
+    return PlacementProblem(list(metrics), servers, replicas)
+
+
+class TestConstruction:
+    def test_requires_metrics_and_servers(self):
+        with pytest.raises(ValueError):
+            PlacementProblem([], [ServerInfo("s", "A", (1.0,))], [])
+        with pytest.raises(ValueError):
+            PlacementProblem(["cpu"], [], [])
+
+    def test_capacity_length_checked(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(["cpu", "mem"],
+                             [ServerInfo("s", "A", (1.0,))], [])
+
+    def test_load_length_checked(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(["cpu"], [ServerInfo("s", "A", (1.0,))],
+                             [ReplicaInfo("r", "sh", (1.0, 2.0))])
+
+    def test_unassigned_by_default(self):
+        problem = small_problem()
+        assert all(a == -1 for a in problem.assignment)
+        assert all(u == [0.0] for u in problem.usage)
+
+    def test_initial_assignment_builds_usage(self):
+        problem = small_problem(num_servers=2, num_replicas=4)
+        problem2 = PlacementProblem(
+            problem.metrics,
+            problem.servers,
+            problem.replicas,
+            assignment=[0, 0, 1, 1],
+        )
+        assert problem2.usage[0][0] == 20.0
+        assert problem2.usage[1][0] == 20.0
+        assert problem2.replicas_on[0] == {0, 1}
+
+    def test_bad_assignment_rejected(self):
+        problem = small_problem(num_servers=2, num_replicas=2)
+        with pytest.raises(ValueError):
+            PlacementProblem(problem.metrics, problem.servers,
+                             problem.replicas, assignment=[0, 99])
+        with pytest.raises(ValueError):
+            PlacementProblem(problem.metrics, problem.servers,
+                             problem.replicas, assignment=[0])
+
+    def test_unknown_preferred_region_allowed_if_declared(self):
+        """A preference for a region with no live servers is representable
+        (whole-region outage)."""
+        servers = [ServerInfo("s0", "A", (100.0,))]
+        replicas = [ReplicaInfo("r0", "sh0", (1.0,), preferred_region="B")]
+        problem = PlacementProblem(["cpu"], servers, replicas)
+        assert "B" in problem.region_names
+
+
+class TestMoves:
+    def test_move_updates_usage_and_index(self):
+        problem = small_problem(num_servers=2, num_replicas=2)
+        problem.move(0, 0)
+        problem.move(1, 0)
+        assert problem.usage[0][0] == 20.0
+        problem.move(1, 1)
+        assert problem.usage[0][0] == 10.0
+        assert problem.usage[1][0] == 10.0
+        assert problem.replicas_on[1] == {1}
+
+    def test_move_to_same_server_is_noop(self):
+        problem = small_problem()
+        problem.move(0, 1)
+        before = [list(row) for row in problem.usage]
+        problem.move(0, 1)
+        assert [list(row) for row in problem.usage] == before
+
+    def test_move_to_minus_one_unassigns(self):
+        problem = small_problem()
+        problem.move(0, 1)
+        problem.move(0, -1)
+        assert problem.assignment[0] == -1
+        assert problem.usage[1][0] == 0.0
+
+    def test_usage_bookkeeping_matches_recompute(self):
+        rng = random.Random(5)
+        problem = small_problem(num_servers=6, num_replicas=30)
+        problem.random_assignment(rng)
+        for _ in range(200):
+            problem.move(rng.randrange(30), rng.randrange(6))
+        for server in range(6):
+            expected = sum(problem.loads[r][0]
+                           for r in problem.replicas_on[server])
+            assert problem.usage[server][0] == pytest.approx(expected)
+
+
+class TestStats:
+    def test_mean_utilization_invariant_under_moves(self):
+        rng = random.Random(2)
+        problem = small_problem(num_servers=4, num_replicas=16)
+        problem.random_assignment(rng)
+        before = problem.mean_utilization()
+        for _ in range(50):
+            problem.move(rng.randrange(16), rng.randrange(4))
+        assert problem.mean_utilization() == pytest.approx(before)
+
+    def test_utilization_matrix_shape(self):
+        problem = small_problem(num_servers=3, num_replicas=6,
+                                metrics=("cpu", "mem"))
+        problem.random_assignment(random.Random(1))
+        util = problem.utilization()
+        assert util.shape == (3, 2)
+
+    def test_assignment_diff(self):
+        problem = small_problem()
+        problem.random_assignment(random.Random(1))
+        baseline = problem.copy_assignment()
+        problem.move(0, (baseline[0] + 1) % 4)
+        diff = problem.assignment_diff(baseline)
+        assert len(diff) == 1
+        assert diff[0][0] == 0
+
+    def test_assignment_diff_length_checked(self):
+        problem = small_problem()
+        with pytest.raises(ValueError):
+            problem.assignment_diff([0])

@@ -1,0 +1,209 @@
+"""Unit tests for the local-search engine and the Rebalancer facade."""
+
+import random
+
+import pytest
+
+from repro.solver.api import Rebalancer, solve_partitioned
+from repro.solver.local_search import BASELINE, OPTIMIZED, LocalSearch, SearchConfig
+from repro.solver.problem import PlacementProblem, ReplicaInfo, ServerInfo
+from repro.solver.specs import (
+    AffinitySpec,
+    BalanceSpec,
+    CapacitySpec,
+    DrainSpec,
+    ExclusionSpec,
+    Scope,
+    UtilizationSpec,
+)
+from repro.sim.rng import skewed_loads
+
+
+def lb_problem(num_servers=20, num_replicas=200, seed=1,
+               mean_utilization=0.5, regions=("A", "B", "C"),
+               replicas_per_shard=1):
+    rng = random.Random(seed)
+    servers = [
+        ServerInfo(name=f"s{i}", region=regions[i % len(regions)],
+                   datacenter=f"dc{i % 4}", rack=f"rack{i % 8}",
+                   capacity=(100.0,))
+        for i in range(num_servers)
+    ]
+    mean = mean_utilization * 100.0 * num_servers / num_replicas
+    loads = skewed_loads(rng, num_replicas, skew=10.0, mean=mean)
+    replicas = [
+        ReplicaInfo(name=f"r{i}", shard=f"sh{i // replicas_per_shard}",
+                    load=(loads[i],))
+        for i in range(num_replicas)
+    ]
+    problem = PlacementProblem(["cpu"], servers, replicas)
+    problem.random_assignment(rng)
+    return problem
+
+
+def standard_rebalancer(problem):
+    rebalancer = Rebalancer(problem)
+    rebalancer.add_constraint(CapacitySpec(metric="cpu"))
+    rebalancer.add_goal(UtilizationSpec(metric="cpu", threshold=0.9))
+    rebalancer.add_goal(BalanceSpec(metric="cpu", band=0.1))
+    return rebalancer
+
+
+class TestConvergence:
+    def test_fixes_all_lb_violations(self):
+        problem = lb_problem()
+        rebalancer = standard_rebalancer(problem)
+        assert rebalancer.violations() > 0
+        result = rebalancer.solve(SearchConfig(time_budget=20.0))
+        assert rebalancer.violations() == 0
+        assert result.solved
+        assert result.final_violations == 0
+
+    def test_capacity_never_violated_by_moves(self):
+        problem = lb_problem(mean_utilization=0.6)
+        rebalancer = standard_rebalancer(problem)
+        overflowing_before = {
+            s for s in range(len(problem.servers))
+            if problem.usage[s][0] > problem.capacity[s][0] + 1e-9}
+        rebalancer.solve(SearchConfig(time_budget=20.0))
+        for s in range(len(problem.servers)):
+            if s in overflowing_before:
+                continue
+            assert problem.usage[s][0] <= problem.capacity[s][0] + 1e-9
+
+    def test_spread_and_affinity_converge(self):
+        rng = random.Random(2)
+        servers = [ServerInfo(name=f"s{i}", region=["A", "B", "C"][i % 3],
+                              capacity=(1000.0,)) for i in range(12)]
+        replicas = []
+        for shard in range(30):
+            for copy in range(3):
+                replicas.append(ReplicaInfo(
+                    name=f"sh{shard}#{copy}", shard=f"sh{shard}",
+                    load=(1.0,),
+                    preferred_region="A" if shard < 10 else None))
+        problem = PlacementProblem(["cpu"], servers, replicas)
+        problem.random_assignment(rng)
+        rebalancer = Rebalancer(problem)
+        rebalancer.add_constraint(CapacitySpec(metric="cpu"))
+        rebalancer.add_goal(AffinitySpec())
+        rebalancer.add_goal(ExclusionSpec(scope=Scope.REGION))
+        rebalancer.solve(SearchConfig(time_budget=20.0))
+        assert rebalancer.violations() == 0
+
+    def test_drain_goal_empties_server(self):
+        rng = random.Random(3)
+        servers = [ServerInfo(name=f"s{i}", region="A", capacity=(100.0,),
+                              draining=(i == 0)) for i in range(5)]
+        replicas = [ReplicaInfo(name=f"r{i}", shard=f"sh{i}", load=(5.0,))
+                    for i in range(20)]
+        problem = PlacementProblem(["cpu"], servers, replicas)
+        problem.random_assignment(rng)
+        rebalancer = Rebalancer(problem)
+        rebalancer.add_constraint(CapacitySpec(metric="cpu"))
+        rebalancer.add_goal(DrainSpec())
+        rebalancer.solve(SearchConfig(time_budget=10.0))
+        assert not problem.replicas_on[0]
+
+
+class TestBudgets:
+    def test_move_budget_respected(self):
+        problem = lb_problem()
+        rebalancer = standard_rebalancer(problem)
+        result = rebalancer.solve(SearchConfig(time_budget=20.0,
+                                               move_budget=5))
+        assert result.moves + result.swaps <= 5
+
+    def test_time_budget_respected(self):
+        problem = lb_problem(num_servers=40, num_replicas=2000)
+        rebalancer = standard_rebalancer(problem)
+        result = rebalancer.solve(SearchConfig(time_budget=0.05))
+        assert result.solve_time < 2.0  # generous tolerance
+
+    def test_trace_is_recorded(self):
+        problem = lb_problem()
+        rebalancer = standard_rebalancer(problem)
+        result = rebalancer.solve(SearchConfig(time_budget=20.0,
+                                               trace_interval=8))
+        assert len(result.trace) >= 2
+        assert result.trace.values[0] == result.initial_violations
+        assert result.trace.values[-1] == result.final_violations
+
+
+class TestOptimizationFlags:
+    def test_baseline_also_converges_but_uses_more_moves(self):
+        problem_a = lb_problem(seed=7)
+        optimized = standard_rebalancer(problem_a)
+        result_a = optimized.solve(SearchConfig(time_budget=20.0))
+
+        problem_b = lb_problem(seed=7)
+        baseline = standard_rebalancer(problem_b)
+        result_b = baseline.solve(
+            SearchConfig(time_budget=20.0).without_optimizations())
+        assert result_a.solved
+        # The baseline either needs more moves or fails to converge.
+        assert (not result_b.solved
+                or result_b.moves + result_b.swaps
+                >= result_a.moves + result_a.swaps)
+
+    def test_without_optimizations_flags(self):
+        config = OPTIMIZED.without_optimizations()
+        assert not config.grouped_sampling
+        assert not config.large_first
+        assert not config.equivalence_classes
+        assert not config.priority_batches
+        assert not config.allow_swaps
+        assert BASELINE == config
+
+    def test_higher_priority_goals_never_deteriorate(self):
+        rng = random.Random(4)
+        servers = [ServerInfo(name=f"s{i}", region=["A", "B"][i % 2],
+                              capacity=(100.0,)) for i in range(10)]
+        replicas = []
+        for shard in range(20):
+            for copy in range(2):
+                replicas.append(ReplicaInfo(
+                    name=f"sh{shard}#{copy}", shard=f"sh{shard}",
+                    load=(4.0,)))
+        problem = PlacementProblem(["cpu"], servers, replicas)
+        problem.random_assignment(rng)
+        rebalancer = Rebalancer(problem)
+        rebalancer.add_constraint(CapacitySpec(metric="cpu"))
+        rebalancer.add_goal(ExclusionSpec(scope=Scope.REGION))   # priority 2
+        rebalancer.add_goal(BalanceSpec(metric="cpu", band=0.05))  # priority 5
+        rebalancer.solve(SearchConfig(time_budget=10.0))
+        spread_goal = next(g for g in rebalancer.goals
+                           if g.name.startswith("spread"))
+        assert spread_goal.violations() == 0
+
+
+class TestRebalancerApi:
+    def test_requires_goals(self):
+        problem = lb_problem()
+        with pytest.raises(ValueError):
+            LocalSearch(problem, [], OPTIMIZED)
+
+    def test_capacity_must_use_add_constraint(self):
+        rebalancer = Rebalancer(lb_problem())
+        with pytest.raises(TypeError):
+            rebalancer.add_goal(CapacitySpec(metric="cpu"))
+
+    def test_unknown_spec_rejected(self):
+        rebalancer = Rebalancer(lb_problem())
+        with pytest.raises(TypeError):
+            rebalancer.add_goal(object())
+
+    def test_violations_by_goal_names(self):
+        rebalancer = standard_rebalancer(lb_problem())
+        names = set(rebalancer.violations_by_goal())
+        assert any("capacity" in n for n in names)
+        assert any("balance" in n for n in names)
+
+    def test_solve_partitioned(self):
+        problems = [lb_problem(seed=s, num_servers=6, num_replicas=30)
+                    for s in (1, 2)]
+        results = solve_partitioned(
+            problems, standard_rebalancer,
+            SearchConfig(time_budget=10.0))
+        assert len(results) == 2
+        assert all(r.solved for r in results)

@@ -1,0 +1,109 @@
+"""Unit tests for fleet topology."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import (
+    FaultDomainLevel,
+    Machine,
+    Topology,
+    build_topology,
+    count_distinct_domains,
+)
+
+
+def _machine(machine_id="m0", region="FRC", dc="FRC.dc0", rack="FRC.dc0.rack0"):
+    return Machine(machine_id=machine_id, region=region, datacenter=dc,
+                   rack=rack, capacity={"cpu": 100.0})
+
+
+class TestMachine:
+    def test_domain_levels(self):
+        machine = _machine()
+        assert machine.domain(FaultDomainLevel.REGION) == "FRC"
+        assert machine.domain(FaultDomainLevel.DATACENTER) == "FRC.dc0"
+        assert machine.domain(FaultDomainLevel.RACK) == "FRC.dc0.rack0"
+        assert machine.domain(FaultDomainLevel.HOST) == "m0"
+
+    def test_capacity_of_missing_metric(self):
+        assert _machine().capacity_of("nope") == 0.0
+
+
+class TestTopology:
+    def test_add_and_get(self):
+        topology = Topology()
+        machine = _machine()
+        topology.add(machine)
+        assert topology.get("m0") is machine
+        assert "m0" in topology
+        assert len(topology) == 1
+
+    def test_duplicate_id_rejected(self):
+        topology = Topology()
+        topology.add(_machine())
+        with pytest.raises(ValueError):
+            topology.add(_machine())
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError):
+            Topology().get("ghost")
+
+    def test_region_queries(self):
+        topology = Topology()
+        topology.add(_machine("a", region="FRC"))
+        topology.add(_machine("b", region="PRN", dc="PRN.dc0",
+                              rack="PRN.dc0.rack0"))
+        assert topology.regions() == ["FRC", "PRN"]
+        assert [m.machine_id for m in topology.in_region("PRN")] == ["b"]
+
+    def test_up_machines(self):
+        topology = Topology()
+        up, down = _machine("up"), _machine("down")
+        down.up = False
+        topology.add(up)
+        topology.add(down)
+        assert topology.up_machines() == [up]
+
+
+class TestBuildTopology:
+    def test_counts(self):
+        topology = build_topology(["FRC", "PRN"], machines_per_region=10)
+        assert len(topology) == 20
+        assert len(topology.in_region("FRC")) == 10
+
+    def test_fault_domain_structure(self):
+        topology = build_topology(["FRC"], machines_per_region=16,
+                                  datacenters_per_region=2,
+                                  racks_per_datacenter=4)
+        machines = topology.in_region("FRC")
+        assert count_distinct_domains(machines, FaultDomainLevel.DATACENTER) == 2
+        assert count_distinct_domains(machines, FaultDomainLevel.RACK) == 8
+
+    def test_capacity_jitter_bounds(self):
+        topology = build_topology(["FRC"], machines_per_region=50,
+                                  capacity={"cpu": 100.0},
+                                  capacity_jitter=0.2,
+                                  rng=random.Random(3))
+        values = [m.capacity["cpu"] for m in topology.machines]
+        assert min(values) >= 80.0
+        assert max(values) <= 120.0
+        assert len(set(values)) > 1  # actually heterogeneous
+
+    def test_storage_fraction(self):
+        topology = build_topology(["FRC"], machines_per_region=200,
+                                  storage_fraction=0.5,
+                                  rng=random.Random(3))
+        storage = sum(1 for m in topology.machines if m.has_storage)
+        assert 60 <= storage <= 140
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_topology(["FRC"], machines_per_region=0)
+        with pytest.raises(ValueError):
+            build_topology(["FRC"], machines_per_region=1, capacity_jitter=1.5)
+
+    def test_unique_ids_across_regions(self):
+        topology = build_topology(["A", "B", "C"], machines_per_region=5)
+        ids = [m.machine_id for m in topology.machines]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,142 @@
+"""Unit tests for workload and fleet generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.spec import DeploymentMode, LoadBalancePolicy
+from repro.workloads.fleet import (
+    GEO_DISTRIBUTED_BY_APP,
+    SHARDING_SCHEME_BY_APP,
+    adoption_curve,
+    deployment_breakdown,
+    generate_fleet,
+    scale_scatter,
+    scheme_breakdown,
+)
+from repro.workloads.load import (
+    DAY,
+    DiurnalCurve,
+    noisy,
+    static_shard_loads,
+    zipfian_key_sampler,
+)
+from repro.workloads.snapshots import (
+    PAPER_SCALES,
+    SnapshotScale,
+    attach_zippydb_goals,
+    scaled,
+    zippydb_snapshot,
+)
+
+
+class TestFleet:
+    def test_deterministic_by_seed(self):
+        assert generate_fleet(50, seed=3) == generate_fleet(50, seed=3)
+
+    def test_scheme_marginals_converge(self):
+        apps = generate_fleet(4000, seed=1)
+        breakdown = scheme_breakdown(apps)
+        for scheme, expected in SHARDING_SCHEME_BY_APP.items():
+            assert abs(breakdown.by_app[scheme] - expected) < 0.05
+
+    def test_geo_marginal_converges(self):
+        apps = generate_fleet(4000, seed=1)
+        breakdown = deployment_breakdown(apps)
+        assert abs(breakdown.by_app[DeploymentMode.GEO_DISTRIBUTED.value]
+                   - GEO_DISTRIBUTED_BY_APP) < 0.05
+
+    def test_scatter_covers_sm_apps_only(self):
+        apps = generate_fleet(200, seed=2)
+        scatter = scale_scatter(apps)
+        assert len(scatter) == sum(1 for a in apps if a.is_sm)
+
+    def test_sizes_within_paper_bounds(self):
+        apps = generate_fleet(2000, seed=4)
+        for app in apps:
+            if app.scheme != "custom":
+                assert 1 <= app.servers <= 19_000
+            assert 1 <= app.shards <= 2_600_000
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_fleet(0)
+
+    def test_adoption_curve_monotonic(self):
+        curve = adoption_curve(range(2012, 2022))
+        values = [machines for _y, machines in curve]
+        assert values == sorted(values)
+        assert values[-1] > 900_000
+
+
+class TestDiurnal:
+    def test_bounds(self):
+        curve = DiurnalCurve(base=10.0, peak=50.0, period=DAY)
+        samples = [curve(t) for t in range(0, int(DAY), 3600)]
+        assert min(samples) >= 10.0 - 1e-9
+        assert max(samples) <= 50.0 + 1e-9
+
+    def test_periodicity(self):
+        curve = DiurnalCurve(base=1.0, peak=3.0, period=100.0)
+        assert curve(10.0) == pytest.approx(curve(110.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve(base=5.0, peak=1.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(base=1.0, peak=2.0, period=0.0)
+
+    def test_noisy_wrapper_stays_close(self):
+        rng = random.Random(1)
+        curve = noisy(lambda t: 100.0, rng, fraction=0.1)
+        for t in range(50):
+            assert 90.0 <= curve(float(t)) <= 110.0
+
+    def test_zipfian_sampler_has_hot_set(self):
+        sampler = zipfian_key_sampler(10_000, skew=2.0, hot_keys=100)
+        rng = random.Random(5)
+        hits = sum(1 for _ in range(2000) if sampler(rng) < 100)
+        assert hits > 600  # far above the uniform expectation of ~20
+
+    def test_static_shard_loads_skew(self):
+        rng = random.Random(2)
+        loads = static_shard_loads(rng, [f"s{i}" for i in range(500)],
+                                   ["cpu"], skew=20.0, mean=1.0)
+        values = [entry["cpu"] for entry in loads.values()]
+        assert max(values) / min(values) > 5.0
+
+
+class TestSnapshots:
+    def test_scaled_preserves_ratios(self):
+        scales = scaled(PAPER_SCALES, factor=10)
+        assert scales[0].servers == 100
+        assert scales[2].shards // scales[0].shards == 5
+
+    def test_snapshot_matches_scale(self):
+        scale = SnapshotScale(servers=50, shards=500)
+        problem = zippydb_snapshot(scale, seed=1)
+        assert len(problem.servers) == 50
+        assert len(problem.replicas) == 500
+        assert problem.metrics == ["cpu", "storage", "shard_count"]
+
+    def test_capacity_heterogeneity(self):
+        problem = zippydb_snapshot(SnapshotScale(100, 1000), seed=1)
+        cpu_caps = [c[0] for c in problem.capacity]
+        assert max(cpu_caps) / min(cpu_caps) > 1.1
+
+    def test_load_skew(self):
+        problem = zippydb_snapshot(SnapshotScale(50, 2000), seed=1)
+        cpu_loads = [l[0] for l in problem.loads]
+        assert max(cpu_loads) / min(cpu_loads) == pytest.approx(20.0, rel=0.3)
+
+    def test_random_assignment_has_violations(self):
+        problem = zippydb_snapshot(SnapshotScale(100, 5000), seed=0)
+        rebalancer = attach_zippydb_goals(problem)
+        assert rebalancer.violations() > 0
+
+    def test_deterministic(self):
+        a = zippydb_snapshot(SnapshotScale(20, 100), seed=7)
+        b = zippydb_snapshot(SnapshotScale(20, 100), seed=7)
+        assert a.assignment == b.assignment
+        assert a.loads == b.loads

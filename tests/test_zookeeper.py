@@ -1,0 +1,208 @@
+"""Unit tests for the simulated coordination store."""
+
+import pytest
+
+from repro.coordination.zookeeper import (
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    SessionExpiredError,
+    WatchEventType,
+    ZkError,
+    ZooKeeper,
+)
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def zk(engine):
+    return ZooKeeper(engine, default_session_timeout=10.0)
+
+
+class TestNamespace:
+    def test_create_and_get(self, zk):
+        zk.create("/a", data=1)
+        assert zk.get("/a") == 1
+
+    def test_create_nested_requires_parents(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.create("/a/b/c")
+
+    def test_make_parents(self, zk):
+        zk.create("/a/b/c", data="deep", make_parents=True)
+        assert zk.get("/a/b/c") == "deep"
+        assert zk.children("/a") == ["b"]
+
+    def test_duplicate_create_raises(self, zk):
+        zk.create("/a")
+        with pytest.raises(NodeExistsError):
+            zk.create("/a")
+
+    def test_relative_path_rejected(self, zk):
+        with pytest.raises(ZkError):
+            zk.create("nope")
+
+    def test_get_missing_raises(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.get("/missing")
+
+    def test_exists(self, zk):
+        assert not zk.exists("/a")
+        zk.create("/a")
+        assert zk.exists("/a")
+
+    def test_delete(self, zk):
+        zk.create("/a")
+        zk.delete("/a")
+        assert not zk.exists("/a")
+
+    def test_delete_nonempty_requires_recursive(self, zk):
+        zk.create("/a/b", make_parents=True)
+        with pytest.raises(NotEmptyError):
+            zk.delete("/a")
+        zk.delete("/a", recursive=True)
+        assert not zk.exists("/a")
+
+    def test_children_sorted(self, zk):
+        zk.create("/root")
+        for name in ("c", "a", "b"):
+            zk.create(f"/root/{name}")
+        assert zk.children("/root") == ["a", "b", "c"]
+
+    def test_set_bumps_version(self, zk):
+        zk.create("/a", data=1)
+        assert zk.version("/a") == 0
+        zk.set("/a", 2)
+        assert zk.version("/a") == 1
+        assert zk.get("/a") == 2
+
+    def test_compare_and_set(self, zk):
+        zk.create("/a", data=1)
+        zk.set("/a", 2, expected_version=0)
+        with pytest.raises(ZkError):
+            zk.set("/a", 3, expected_version=0)
+
+
+class TestSessionsAndEphemerals:
+    def test_ephemeral_requires_session(self, zk):
+        with pytest.raises(SessionExpiredError):
+            zk.create("/e", ephemeral=True)
+
+    def test_ephemeral_survives_while_heartbeating(self, engine, zk):
+        session = zk.create_session(timeout=10.0)
+        zk.create("/e", ephemeral=True, session=session)
+        for _ in range(5):
+            engine.run(until=engine.now + 5.0)
+            session.heartbeat()
+        assert zk.exists("/e")
+
+    def test_ephemeral_deleted_on_expiry(self, engine, zk):
+        session = zk.create_session(timeout=10.0)
+        zk.create("/e", ephemeral=True, session=session)
+        engine.run(until=20.0)
+        assert not zk.exists("/e")
+        assert session.expired
+
+    def test_close_deletes_immediately(self, engine, zk):
+        session = zk.create_session()
+        zk.create("/e", ephemeral=True, session=session)
+        session.close()
+        assert not zk.exists("/e")
+
+    def test_heartbeat_after_expiry_raises(self, engine, zk):
+        session = zk.create_session(timeout=5.0)
+        engine.run(until=10.0)
+        with pytest.raises(SessionExpiredError):
+            session.heartbeat()
+
+    def test_expiry_only_removes_own_ephemerals(self, engine, zk):
+        session_a = zk.create_session(timeout=5.0)
+        session_b = zk.create_session(timeout=1000.0)
+        zk.create("/a", ephemeral=True, session=session_a)
+        zk.create("/b", ephemeral=True, session=session_b)
+        engine.run(until=10.0)
+        assert not zk.exists("/a")
+        assert zk.exists("/b")
+
+    def test_nested_ephemerals_cleaned(self, engine, zk):
+        session = zk.create_session(timeout=5.0)
+        zk.create("/dir")
+        zk.create("/dir/e", ephemeral=True, session=session)
+        engine.run(until=10.0)
+        assert zk.exists("/dir")
+        assert not zk.exists("/dir/e")
+
+
+class TestWatches:
+    def test_data_watch_fires_once(self, engine, zk):
+        zk.create("/a", data=1)
+        events = []
+        zk.get("/a", watch=events.append)
+        zk.set("/a", 2)
+        zk.set("/a", 3)
+        engine.run()
+        assert len(events) == 1
+        assert events[0].type is WatchEventType.DATA_CHANGED
+
+    def test_exists_watch_sees_creation(self, engine, zk):
+        events = []
+        assert not zk.exists("/a", watch=events.append)
+        zk.create("/a")
+        engine.run()
+        assert events[0].type is WatchEventType.CREATED
+
+    def test_delete_fires_node_watch(self, engine, zk):
+        zk.create("/a")
+        events = []
+        zk.get("/a", watch=events.append)
+        zk.delete("/a")
+        engine.run()
+        assert events[0].type is WatchEventType.DELETED
+
+    def test_child_watch_on_add(self, engine, zk):
+        zk.create("/dir")
+        events = []
+        zk.children("/dir", watch=events.append)
+        zk.create("/dir/kid")
+        engine.run()
+        assert events[0].type is WatchEventType.CHILD_ADDED
+        assert events[0].path == "/dir/kid"
+
+    def test_child_watch_on_remove(self, engine, zk):
+        zk.create("/dir/kid", make_parents=True)
+        events = []
+        zk.children("/dir", watch=events.append)
+        zk.delete("/dir/kid")
+        engine.run()
+        assert events[0].type is WatchEventType.CHILD_REMOVED
+
+    def test_watch_rearm_pattern(self, engine, zk):
+        """Re-arming inside the callback sees every change (the pattern
+        the orchestrator uses)."""
+        zk.create("/dir")
+        seen = []
+
+        def watch(event):
+            seen.append(event.path)
+            zk.children("/dir", watch=watch)
+
+        zk.children("/dir", watch=watch)
+        zk.create("/dir/a")
+        engine.run()
+        zk.create("/dir/b")
+        engine.run()
+        assert seen == ["/dir/a", "/dir/b"]
+
+    def test_watch_delivery_is_async(self, engine, zk):
+        zk.create("/a", data=1)
+        events = []
+        zk.get("/a", watch=events.append)
+        zk.set("/a", 2)
+        assert events == []  # not yet delivered
+        engine.run()
+        assert len(events) == 1
