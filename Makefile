@@ -1,0 +1,21 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-quick profile
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seconds-fast regression check: the solver hot-path microbenchmark at a
+# small scale point, then the tier-1 test suite.
+bench-quick:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_solver_hotpath.py::test_solver_hotpath_quick \
+		--benchmark-only -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..metrics.profiler import Profiler
 from ..metrics.timeseries import TimeSeries, format_table
 from ..solver.local_search import OPTIMIZED, SearchConfig
 from ..workloads.snapshots import (
@@ -34,6 +35,8 @@ class ScalePoint:
     solve_time: float
     moves: int
     trace: TimeSeries
+    evaluations: int = 0
+    profile: Profiler = None  # per-stage solver timings (SolveResult.profile)
 
     @property
     def solved(self) -> bool:
@@ -71,6 +74,8 @@ def run(factor: int = 5, seed: int = 0,
             solve_time=result.solve_time,
             moves=result.moves + result.swaps,
             trace=result.trace,
+            evaluations=result.evaluations,
+            profile=result.profile,
         ))
     return Fig21Result(points=points)
 
@@ -91,4 +96,13 @@ def format_report(result: Fig21Result) -> str:
         f"all violations fixed : {result.all_solved} (paper: yes)",
         f"time growth for 5x size: {result.time_growth:.1f}x (paper: 6.8x)",
     ]
+    for point in result.points:
+        if point.profile is None:
+            continue
+        rate = (point.evaluations / point.solve_time
+                if point.solve_time > 0 else 0.0)
+        lines.append("")
+        lines.append(f"profile — {point.scale.label} "
+                     f"({rate:,.0f} evaluations/s):")
+        lines.append(point.profile.format(total=point.solve_time))
     return "\n".join(lines)

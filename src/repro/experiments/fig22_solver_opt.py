@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..metrics.profiler import Profiler
 from ..metrics.timeseries import TimeSeries
 from ..solver.local_search import SearchConfig
 from ..workloads.snapshots import (
@@ -33,6 +34,8 @@ class SolverArm:
     moves: int
     timed_out: bool
     trace: TimeSeries
+    evaluations: int = 0
+    profile: Profiler = None  # per-stage solver timings (SolveResult.profile)
 
     @property
     def solved(self) -> bool:
@@ -66,6 +69,8 @@ def _solve(label: str, config: SearchConfig, scale: SnapshotScale,
         moves=result.moves + result.swaps,
         timed_out=result.timed_out,
         trace=result.trace,
+        evaluations=result.evaluations,
+        profile=result.profile,
     )
 
 
@@ -97,4 +102,11 @@ def format_report(result: Fig22Result) -> str:
         f"  baseline extra moves: {100 * result.extra_move_fraction:+.0f}% "
         "(paper: +22%, and baseline cannot finish in 300 s)",
     ]
+    for arm in (result.optimized, result.baseline):
+        if arm.profile is None:
+            continue
+        rate = arm.evaluations / arm.solve_time if arm.solve_time > 0 else 0.0
+        lines.append("")
+        lines.append(f"  profile — {arm.label} ({rate:,.0f} evaluations/s):")
+        lines.append(arm.profile.format(total=arm.solve_time, indent="    "))
     return "\n".join(lines)

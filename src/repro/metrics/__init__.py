@@ -1,5 +1,7 @@
-"""Metric recording (time series, rate windows, counters)."""
+"""Metric recording (time series, rate windows, counters, profilers)."""
 
+from .profiler import Profiler, timed
 from .timeseries import Counter, RateWindow, TimeSeries, format_table, percentile
 
-__all__ = ["Counter", "RateWindow", "TimeSeries", "format_table", "percentile"]
+__all__ = ["Counter", "Profiler", "RateWindow", "TimeSeries", "format_table",
+           "percentile", "timed"]

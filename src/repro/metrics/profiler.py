@@ -1,0 +1,134 @@
+"""Lightweight wall-clock stage profiler for hot paths.
+
+The solver (and any other subsystem with a measurable inner loop) records
+per-stage cumulative wall-clock time and counters into a :class:`Profiler`.
+The design goal is *negligible overhead*: the hot path calls
+``perf_counter()`` itself and hands the elapsed seconds to :meth:`add`, so
+there is no context-manager or closure allocation per sample on the
+critical path.  The :func:`timed` context manager exists for convenience
+in cold code.
+
+``LocalSearch`` attaches a profiler to every :class:`SolveResult` as
+``result.profile``; the Fig 21/22 report formatters print it, and
+``scripts/profile_solver.py`` combines it with ``cProfile`` for
+function-level detail.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Profiler:
+    """Cumulative per-stage timers plus named event counters."""
+
+    __slots__ = ("_stages", "_counters")
+
+    def __init__(self) -> None:
+        # stage -> [calls, seconds]
+        self._stages: Dict[str, list] = {}
+        self._counters: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, stage: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` of wall-clock into ``stage``."""
+        entry = self._stages.get(stage)
+        if entry is None:
+            self._stages[stage] = [calls, seconds]
+        else:
+            entry[0] += calls
+            entry[1] += seconds
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the ``name`` counter by ``n``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_counter(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    # -- reading -----------------------------------------------------------
+
+    def seconds(self, stage: str) -> float:
+        entry = self._stages.get(stage)
+        return entry[1] if entry is not None else 0.0
+
+    def calls(self, stage: str) -> int:
+        entry = self._stages.get(stage)
+        return entry[0] if entry is not None else 0
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    @property
+    def stages(self) -> Dict[str, Tuple[int, float]]:
+        return {name: (entry[0], entry[1])
+                for name, entry in self._stages.items()}
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def total_seconds(self) -> float:
+        return sum(entry[1] for entry in self._stages.values())
+
+    # -- combination and presentation -------------------------------------
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's samples into this one (for aggregating
+        per-partition or per-scale-point solves)."""
+        for stage, (calls, seconds) in other.stages.items():
+            self.add(stage, seconds, calls)
+        for name, value in other.counters.items():
+            self.count(name, value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view (JSON-friendly) of everything recorded."""
+        return {
+            "stages": {name: {"calls": calls, "seconds": seconds}
+                       for name, (calls, seconds) in self.stages.items()},
+            "counters": self.counters,
+        }
+
+    def format(self, total: Optional[float] = None, indent: str = "  ") -> str:
+        """An aligned per-stage table; ``total`` (e.g. solve wall-clock)
+        adds a percent-of-total column."""
+        if not self._stages and not self._counters:
+            return f"{indent}(no profile samples)"
+        lines = []
+        if self._stages:
+            width = max(len(name) for name in self._stages)
+            for name, (calls, seconds) in sorted(
+                    self._stages.items(), key=lambda kv: -kv[1][1]):
+                line = (f"{indent}{name:<{width}}  {seconds * 1e3:9.2f} ms"
+                        f"  x{calls:<8d}")
+                if total and total > 0:
+                    line += f" {100.0 * seconds / total:5.1f}%"
+                lines.append(line)
+        if self._counters:
+            pairs = ", ".join(f"{name}={value}" for name, value in
+                              sorted(self._counters.items()))
+            lines.append(f"{indent}counters: {pairs}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Profiler(stages={self.stages!r}, counters={self.counters!r})"
+
+
+@contextmanager
+def timed(profiler: Optional[Profiler], stage: str) -> Iterator[None]:
+    """Convenience timer for cold paths: ``with timed(profiler, "io"): ...``.
+
+    Accepts ``None`` so call sites can make profiling optional without
+    branching.
+    """
+    if profiler is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.add(stage, time.perf_counter() - start)

@@ -37,15 +37,17 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    done: bool = field(default=False, compare=False)  # executed by run()
 
 
 class EventHandle:
     """Cancellable handle returned by ``call_at``/``call_after``."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -57,7 +59,14 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call repeatedly."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.done:
+                # First cancellation of a not-yet-executed event: it stops
+                # counting as pending right away (its heap entry lingers as
+                # a tombstone until popped).
+                self._engine._pending -= 1
 
 
 class Engine:
@@ -69,6 +78,7 @@ class Engine:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -82,7 +92,14 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Live count of scheduled-but-not-yet-fired callbacks.
+
+        Maintained incrementally (push +1, cancel/execute -1) instead of
+        scanning the heap, which made this property O(heap) and dominated
+        tight instrumentation loops.  Cancelled tombstones still sitting in
+        the heap are already excluded.
+        """
+        return self._pending
 
     def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``when``."""
@@ -92,7 +109,8 @@ class Engine:
             )
         event = _ScheduledEvent(when, next(self._seq), callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after ``delay`` seconds."""
@@ -124,6 +142,10 @@ class Engine:
                     heapq.heappush(self._heap, event)
                     break
                 self._now = event.time
+                # Marked done (and un-counted) before the callback runs, so
+                # a callback cancelling its own handle is a no-op.
+                event.done = True
+                self._pending -= 1
                 event.callback()
                 executed += 1
                 self._processed += 1

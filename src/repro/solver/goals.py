@@ -8,14 +8,35 @@ whose values may change" (§5.3): the objective decomposes per server /
 per (shard, domain) term, and a single move touches at most two terms per
 goal.
 
+Violation *accounting* is incremental too.  The per-server goals
+(capacity, utilization, balance, drain) derive from
+:class:`_ServerCostGoal`, which keeps
+
+* a cached per-server cost vector (overflow / excess / replica count),
+* a *dirty-server set* — ``on_move`` marks only the two touched servers,
+* a cached violation counter, and
+* a sorted violating-server structure (descending ``(cost, server)``)
+  that is repaired entry-by-entry for dirtied servers instead of
+  re-sorting all servers every round.
+
+The cached values are bit-identical to a from-scratch recount: dirty
+servers are *recomputed from current problem state* (never patched with
+deltas), so the incremental path cannot drift and the solver's move
+sequence is unchanged for a fixed seed.  ``tests/test_solver_incremental.py``
+is the parity harness enforcing this.
+
 All evaluators share the mutable :class:`~repro.solver.problem.PlacementProblem`
-and must be notified of applied moves via ``on_move`` (spread keeps a
-counts table; the others read problem state directly).
+and must be notified of applied moves via ``on_move``.  As a safety net,
+every evaluator snapshots ``problem.version`` when it syncs; if the
+assignment was mutated behind its back (e.g. a test calling
+``problem.move`` directly), the next read detects the version mismatch and
+falls back to a full recount.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Set, Tuple
 
 from .problem import PlacementProblem
 from .specs import (
@@ -27,6 +48,8 @@ from .specs import (
     Scope,
     UtilizationSpec,
 )
+
+_EPS = 1e-9
 
 
 class Goal:
@@ -40,6 +63,10 @@ class Goal:
         raise NotImplementedError
 
     def violations(self) -> int:
+        raise NotImplementedError
+
+    def recount_violations(self) -> int:
+        """From-scratch recount, bypassing every cache (parity harness)."""
         raise NotImplementedError
 
     def violating_servers(self) -> List[int]:
@@ -66,6 +93,24 @@ class Goal:
         """
         return True
 
+    def _note_move(self) -> bool:
+        """Advance the cached-state version by one applied move.
+
+        Returns False when at least one ``problem.move`` happened without a
+        matching ``on_move`` — the incremental caches may be arbitrarily
+        stale, so the next read must do a full recount instead of trusting
+        the dirty set.
+        """
+        version = self.problem.version
+        synced = self._synced_version
+        if version == synced + 1:
+            self._synced_version = version
+            return True
+        if version != synced:
+            self._synced_version = -1
+            return False
+        return True  # on_move without an effective move: state unchanged
+
 
 def _domain_array(problem: PlacementProblem, scope: Scope) -> List[int]:
     if scope is Scope.REGION:
@@ -77,7 +122,111 @@ def _domain_array(problem: PlacementProblem, scope: Scope) -> List[int]:
     return list(range(len(problem.servers)))  # HOST: every server its own domain
 
 
-class CapacityGoal(Goal):
+class _ServerCostGoal(Goal):
+    """Incremental accounting shared by the per-server-cost goals.
+
+    Subclasses define ``_cost_of(server)`` (reading *current* problem
+    state) and call :meth:`_init_incremental` at the end of ``__init__``.
+    ``violations()`` / ``violating_servers()`` / ``total_cost()`` then run
+    off the caches, reconciling only dirtied servers.
+    """
+
+    problem: PlacementProblem
+
+    def _cost_of(self, server: int) -> float:
+        raise NotImplementedError
+
+    def _init_incremental(self) -> None:
+        self._dirty: Set[int] = set()
+        self._synced_version = -1
+        self._rebuild()
+
+    def _invalidate(self) -> None:
+        """Force a full recount on the next read (e.g. balance means moved)."""
+        self._synced_version = -1
+
+    def _rebuild(self) -> None:
+        cost_of = self._cost_of
+        self._cost = [cost_of(s) for s in range(len(self.problem.servers))]
+        self._dirty.clear()
+        # Ascending (-cost, -server) == descending (cost, server): exactly
+        # the order the naive full sort produced.
+        self._viol_sorted: List[Tuple[float, int]] = sorted(
+            (-c, -s) for s, c in enumerate(self._cost) if c > _EPS)
+        self._viol_count = len(self._viol_sorted)
+        self._viol_list: Optional[List[int]] = None
+        self._synced_version = self.problem.version
+
+    def _sync(self) -> None:
+        if self._synced_version != self.problem.version:
+            self._rebuild()
+        elif self._dirty:
+            self._reconcile()
+
+    def _reconcile(self) -> None:
+        dirty = self._dirty
+        if len(dirty) * 8 >= len(self._cost):
+            self._rebuild()
+            return
+        cost = self._cost
+        viol_sorted = self._viol_sorted
+        cost_of = self._cost_of
+        changed = False
+        for s in dirty:
+            old = cost[s]
+            new = cost_of(s)
+            if new == old:
+                continue
+            cost[s] = new
+            was = old > _EPS
+            now = new > _EPS
+            if was:
+                del viol_sorted[bisect_left(viol_sorted, (-old, -s))]
+            if now:
+                insort(viol_sorted, (-new, -s))
+            if was != now:
+                self._viol_count += 1 if now else -1
+            self._cost_changed(s, old, new)
+            changed = True
+        dirty.clear()
+        if changed:
+            self._viol_list = None
+
+    def _cost_changed(self, server: int, old: float, new: float) -> None:
+        """Hook for subclasses maintaining extra aggregates (drain sum)."""
+        return None
+
+    def on_move(self, replica: int, src: int, dst: int) -> None:
+        if src == dst:
+            return
+        if not self._note_move():
+            return
+        if src != -1:
+            self._dirty.add(src)
+        if dst != -1:
+            self._dirty.add(dst)
+
+    def total_cost(self) -> float:
+        self._sync()
+        return sum(self._cost)
+
+    def violations(self) -> int:
+        self._sync()
+        return self._viol_count
+
+    def recount_violations(self) -> int:
+        cost_of = self._cost_of
+        return sum(1 for s in range(len(self.problem.servers))
+                   if cost_of(s) > _EPS)
+
+    def violating_servers(self) -> List[int]:
+        self._sync()
+        if self._viol_list is None:
+            self._viol_list = [-s for _neg_cost, s in self._viol_sorted]
+        return list(self._viol_list)
+
+
+class CapacityGoal(_ServerCostGoal):
     """Hard constraint, surfaced as the highest-priority goal so the search
     fixes overflow first ("earlier batches focus on ... servers out of
     capacity", §5.3).  ``fits`` additionally vetoes moves that would create
@@ -90,43 +239,43 @@ class CapacityGoal(Goal):
         self.name = f"capacity[{spec.metric}]"
         self.priority = 0
         self.weight = 1.0
+        # Per-server limits are static: precompute once instead of a
+        # multiply per move_delta call.
+        self._limits: List[float] = [
+            cap[self.metric] * self.headroom for cap in problem.capacity]
+        self._init_incremental()
 
     def _limit(self, server: int) -> float:
-        return self.problem.capacity[server][self.metric] * self.headroom
+        return self._limits[server]
 
     def _overflow(self, server: int) -> float:
-        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+        return max(0.0, self.problem.usage[server][self.metric]
+                   - self._limits[server])
 
-    def total_cost(self) -> float:
-        return sum(self._overflow(s) for s in range(len(self.problem.servers)))
-
-    def violations(self) -> int:
-        return sum(1 for s in range(len(self.problem.servers))
-                   if self._overflow(s) > 1e-9)
-
-    def violating_servers(self) -> List[int]:
-        overflows = [(self._overflow(s), s)
-                     for s in range(len(self.problem.servers))]
-        return [s for value, s in sorted(overflows, reverse=True) if value > 1e-9]
+    _cost_of = _overflow
 
     def move_delta(self, replica: int, src: int, dst: int) -> float:
         load = self.problem.loads[replica][self.metric]
         if load == 0.0 or src == dst:
             return 0.0
+        m = self.metric
         usage = self.problem.usage
-        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
-        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
-        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
-        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        limits = self._limits
+        src_use, src_limit = usage[src][m], limits[src]
+        dst_use, dst_limit = usage[dst][m], limits[dst]
+        src_before = max(0.0, src_use - src_limit)
+        src_after = max(0.0, src_use - load - src_limit)
+        dst_before = max(0.0, dst_use - dst_limit)
+        dst_after = max(0.0, dst_use + load - dst_limit)
         return (src_after - src_before) + (dst_after - dst_before)
 
     def fits(self, replica: int, dst: int) -> bool:
         load = self.problem.loads[replica][self.metric]
         return (self.problem.usage[dst][self.metric] + load
-                <= self._limit(dst) + 1e-9)
+                <= self._limits[dst] + 1e-9)
 
 
-class UtilizationGoal(Goal):
+class UtilizationGoal(_ServerCostGoal):
     """Soft goal 4: utilization under a fixed threshold (e.g. 90%)."""
 
     def __init__(self, problem: PlacementProblem, spec: UtilizationSpec,
@@ -137,43 +286,45 @@ class UtilizationGoal(Goal):
         self.name = f"util[{spec.metric}]<{spec.threshold:.0%}"
         self.priority = spec.priority
         self.weight = weight
+        self._limits: List[float] = [
+            cap[self.metric] * self.threshold for cap in problem.capacity]
+        self._init_incremental()
 
     def _limit(self, server: int) -> float:
-        return self.problem.capacity[server][self.metric] * self.threshold
+        return self._limits[server]
 
     def _excess(self, server: int) -> float:
-        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+        return max(0.0, self.problem.usage[server][self.metric]
+                   - self._limits[server])
 
-    def total_cost(self) -> float:
-        return sum(self._excess(s) for s in range(len(self.problem.servers)))
-
-    def violations(self) -> int:
-        return sum(1 for s in range(len(self.problem.servers))
-                   if self._excess(s) > 1e-9)
-
-    def violating_servers(self) -> List[int]:
-        excesses = [(self._excess(s), s) for s in range(len(self.problem.servers))]
-        return [s for value, s in sorted(excesses, reverse=True) if value > 1e-9]
+    _cost_of = _excess
 
     def move_delta(self, replica: int, src: int, dst: int) -> float:
         load = self.problem.loads[replica][self.metric]
         if load == 0.0 or src == dst:
             return 0.0
+        m = self.metric
         usage = self.problem.usage
-        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
-        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
-        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
-        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        limits = self._limits
+        src_use, src_limit = usage[src][m], limits[src]
+        dst_use, dst_limit = usage[dst][m], limits[dst]
+        src_before = max(0.0, src_use - src_limit)
+        src_after = max(0.0, src_use - load - src_limit)
+        dst_before = max(0.0, dst_use - dst_limit)
+        dst_after = max(0.0, dst_use + load - dst_limit)
         return (src_after - src_before) + (dst_after - dst_before)
 
 
-class BalanceGoal(Goal):
+class BalanceGoal(_ServerCostGoal):
     """Soft goals 5/6: utilization within ``band`` of the (scope) mean.
 
     The global mean utilization (total load / total capacity) is invariant
     under moves; per-region means change only on cross-region moves and are
     refreshed once per search round — a deliberate, documented
-    approximation that keeps deltas O(1).
+    approximation that keeps deltas O(1).  ``refresh`` recomputes the
+    means from scratch; cached per-server costs are invalidated only when
+    a mean actually changed, so the common refresh is O(servers) float
+    compares with no re-sort.
     """
 
     def __init__(self, problem: PlacementProblem, spec: BalanceSpec,
@@ -188,7 +339,11 @@ class BalanceGoal(Goal):
         self.weight = weight
         self._mean_by_region: List[float] = []
         self._global_mean = 0.0
+        self._limits: List[float] = []
+        self._dirty: Set[int] = set()
+        self._synced_version = -1
         self.refresh()
+        self._init_incremental()
 
     def refresh(self) -> None:
         problem, m = self.problem, self.metric
@@ -199,41 +354,51 @@ class BalanceGoal(Goal):
             for s, region in enumerate(problem.server_region):
                 cap[region] += problem.capacity[s][m]
                 use[region] += problem.usage[s][m]
-            self._mean_by_region = [u / c if c > 0 else 0.0
-                                    for u, c in zip(use, cap)]
+            means = [u / c if c > 0 else 0.0 for u, c in zip(use, cap)]
+            changed = means != self._mean_by_region
+            self._mean_by_region = means
         else:
             total_cap = sum(c[m] for c in problem.capacity)
             total_use = sum(u[m] for u in problem.usage)
-            self._global_mean = total_use / total_cap if total_cap > 0 else 0.0
+            mean = total_use / total_cap if total_cap > 0 else 0.0
+            changed = mean != self._global_mean
+            self._global_mean = mean
+        if changed or not self._limits:
+            band = self.band
+            capacity = problem.capacity
+            if self.regional:
+                means = self._mean_by_region
+                region = problem.server_region
+                self._limits = [(means[region[s]] + band) * capacity[s][m]
+                                for s in range(len(capacity))]
+            else:
+                self._limits = [(self._global_mean + band) * cap[m]
+                                for cap in capacity]
+            # New limits invalidate every cached per-server excess.
+            self._invalidate()
 
     def _limit(self, server: int) -> float:
-        mean = (self._mean_by_region[self.problem.server_region[server]]
-                if self.regional else self._global_mean)
-        return (mean + self.band) * self.problem.capacity[server][self.metric]
+        return self._limits[server]
 
     def _excess(self, server: int) -> float:
-        return max(0.0, self.problem.usage[server][self.metric] - self._limit(server))
+        return max(0.0, self.problem.usage[server][self.metric]
+                   - self._limits[server])
 
-    def total_cost(self) -> float:
-        return sum(self._excess(s) for s in range(len(self.problem.servers)))
-
-    def violations(self) -> int:
-        return sum(1 for s in range(len(self.problem.servers))
-                   if self._excess(s) > 1e-9)
-
-    def violating_servers(self) -> List[int]:
-        excesses = [(self._excess(s), s) for s in range(len(self.problem.servers))]
-        return [s for value, s in sorted(excesses, reverse=True) if value > 1e-9]
+    _cost_of = _excess
 
     def move_delta(self, replica: int, src: int, dst: int) -> float:
         load = self.problem.loads[replica][self.metric]
         if load == 0.0 or src == dst:
             return 0.0
+        m = self.metric
         usage = self.problem.usage
-        src_before = max(0.0, usage[src][self.metric] - self._limit(src))
-        src_after = max(0.0, usage[src][self.metric] - load - self._limit(src))
-        dst_before = max(0.0, usage[dst][self.metric] - self._limit(dst))
-        dst_after = max(0.0, usage[dst][self.metric] + load - self._limit(dst))
+        limits = self._limits
+        src_use, src_limit = usage[src][m], limits[src]
+        dst_use, dst_limit = usage[dst][m], limits[dst]
+        src_before = max(0.0, src_use - src_limit)
+        src_after = max(0.0, src_use - load - src_limit)
+        dst_before = max(0.0, dst_use - dst_limit)
+        dst_after = max(0.0, dst_use + load - dst_limit)
         return (src_after - src_before) + (dst_after - dst_before)
 
 
@@ -245,7 +410,8 @@ class AffinityGoal(Goal):
     shard has one replica at FRC for locality and another replica at
     either PRN or ODN for fault tolerance").  Cost per preferring shard is
     its weight if no replica is in the preferred region, else 0.  A counts
-    table keeps deltas O(1).
+    table keeps deltas O(1), and a cached unsatisfied-group counter makes
+    ``violations()`` O(1).
     """
 
     def __init__(self, problem: PlacementProblem, spec: AffinitySpec) -> None:
@@ -278,6 +444,8 @@ class AffinityGoal(Goal):
                                           self.pref_weight[r])
             self._group_members.setdefault(key, []).append(r)
         self._in_pref: Dict[Tuple[int, int], int] = {}
+        self._unsat_count = 0
+        self._synced_version = -1
         self.refresh()
 
     def refresh(self) -> None:
@@ -286,17 +454,37 @@ class AffinityGoal(Goal):
             server = self.problem.assignment[r]
             if server != -1 and self.problem.server_region[server] == key[1]:
                 self._in_pref[key] += 1
+        self._unsat_count = sum(1 for count in self._in_pref.values()
+                                if count == 0)
+        self._synced_version = self.problem.version
+
+    def _sync(self) -> None:
+        if self._synced_version != self.problem.version:
+            self.refresh()
 
     def _unsatisfied(self) -> List[Tuple[int, int]]:
         return [key for key, count in self._in_pref.items() if count == 0]
 
     def total_cost(self) -> float:
+        self._sync()
         return sum(self._group_weight[key] for key in self._unsatisfied())
 
     def violations(self) -> int:
-        return len(self._unsatisfied())
+        self._sync()
+        return self._unsat_count
+
+    def recount_violations(self) -> int:
+        assignment = self.problem.assignment
+        region = self.problem.server_region
+        unsatisfied = 0
+        for key, members in self._group_members.items():
+            if not any(assignment[r] != -1 and region[assignment[r]] == key[1]
+                       for r in members):
+                unsatisfied += 1
+        return unsatisfied
 
     def violating_servers(self) -> List[int]:
+        self._sync()
         counts: Dict[int, float] = {}
         for key in self._unsatisfied():
             weight = self._group_weight[key]
@@ -324,15 +512,22 @@ class AffinityGoal(Goal):
         return -weight if count == 0 else 0.0  # entering it
 
     def on_move(self, replica: int, src: int, dst: int) -> None:
+        if not self._note_move():
+            return
         key = self._group_of.get(replica)
         if key is None:
             return
         pref = key[1]
         region = self.problem.server_region
+        in_pref = self._in_pref
         if src != -1 and region[src] == pref:
-            self._in_pref[key] -= 1
+            in_pref[key] -= 1
+            if in_pref[key] == 0:
+                self._unsat_count += 1
         if dst != -1 and region[dst] == pref:
-            self._in_pref[key] += 1
+            if in_pref[key] == 0:
+                self._unsat_count -= 1
+            in_pref[key] += 1
 
     def preferred_region_of(self, replica: int) -> int:
         """Used by the search's domain-knowledge sampling."""
@@ -340,7 +535,10 @@ class AffinityGoal(Goal):
 
     def contributes(self, replica: int) -> bool:
         key = self._group_of.get(replica)
-        return key is not None and self._in_pref[key] == 0
+        if key is None:
+            return False
+        self._sync()
+        return self._in_pref[key] == 0
 
 
 class SpreadGoal(Goal):
@@ -348,7 +546,8 @@ class SpreadGoal(Goal):
 
     Cost for a (shard, domain) cell with k co-located replicas is k - 1;
     total cost is the number of "excess" co-located replicas.  A counts
-    table makes deltas O(1).
+    table makes deltas O(1), and a cached excess counter makes
+    ``violations()`` O(1).
     """
 
     def __init__(self, problem: PlacementProblem, spec: ExclusionSpec) -> None:
@@ -359,6 +558,8 @@ class SpreadGoal(Goal):
         self.weight = spec.weight
         self.domain_of_server = _domain_array(problem, spec.scope)
         self._counts: Dict[Tuple[int, int], int] = {}
+        self._excess = 0
+        self._synced_version = -1
         self.refresh()
 
     def refresh(self) -> None:
@@ -368,14 +569,33 @@ class SpreadGoal(Goal):
                 continue
             key = (self.problem.shard_of[r], self.domain_of_server[server])
             self._counts[key] = self._counts.get(key, 0) + 1
+        self._excess = sum(count - 1 for count in self._counts.values()
+                           if count > 1)
+        self._synced_version = self.problem.version
+
+    def _sync(self) -> None:
+        if self._synced_version != self.problem.version:
+            self.refresh()
 
     def total_cost(self) -> float:
-        return float(sum(count - 1 for count in self._counts.values() if count > 1))
+        self._sync()
+        return float(self._excess)
 
     def violations(self) -> int:
-        return sum(count - 1 for count in self._counts.values() if count > 1)
+        self._sync()
+        return self._excess
+
+    def recount_violations(self) -> int:
+        counts: Dict[Tuple[int, int], int] = {}
+        for r, server in enumerate(self.problem.assignment):
+            if server == -1:
+                continue
+            key = (self.problem.shard_of[r], self.domain_of_server[server])
+            counts[key] = counts.get(key, 0) + 1
+        return sum(count - 1 for count in counts.values() if count > 1)
 
     def violating_servers(self) -> List[int]:
+        self._sync()
         servers = []
         seen = set()
         for r, server in enumerate(self.problem.assignment):
@@ -404,26 +624,36 @@ class SpreadGoal(Goal):
         return delta
 
     def on_move(self, replica: int, src: int, dst: int) -> None:
+        if not self._note_move():
+            return
         shard = self.problem.shard_of[replica]
+        counts = self._counts
         if src != -1:
             key = (shard, self.domain_of_server[src])
-            count = self._counts.get(key, 0) - 1
-            if count <= 0:
-                self._counts.pop(key, None)
+            count = counts.get(key, 0)
+            if count > 1:
+                self._excess -= 1
+            if count - 1 <= 0:
+                counts.pop(key, None)
             else:
-                self._counts[key] = count
+                counts[key] = count - 1
         if dst != -1:
             key = (shard, self.domain_of_server[dst])
-            self._counts[key] = self._counts.get(key, 0) + 1
+            count = counts.get(key, 0)
+            if count >= 1:
+                self._excess += 1
+            counts[key] = count + 1
 
     def crowded(self, replica: int) -> bool:
         server = self.problem.assignment[replica]
         if server == -1:
             return False
+        self._sync()
         key = (self.problem.shard_of[replica], self.domain_of_server[server])
         return self._counts.get(key, 0) > 1
 
     def domain_count(self, replica: int, server: int) -> int:
+        self._sync()
         return self._counts.get(
             (self.problem.shard_of[replica], self.domain_of_server[server]), 0)
 
@@ -431,28 +661,40 @@ class SpreadGoal(Goal):
         return self.crowded(replica)
 
 
-class DrainGoal(Goal):
-    """Soft goal 3: empty servers flagged as draining."""
+class DrainGoal(_ServerCostGoal):
+    """Soft goal 3: empty servers flagged as draining.
+
+    Unlike the other per-server goals, ``violations()`` counts *replicas*
+    still sitting on draining servers (not servers), so the goal keeps an
+    integer sum alongside the shared cost cache.
+    """
 
     def __init__(self, problem: PlacementProblem, spec: DrainSpec) -> None:
         self.problem = problem
         self.name = "maintenance-drain"
         self.priority = spec.priority
         self.weight = spec.weight
+        self._init_incremental()
 
-    def total_cost(self) -> float:
-        return float(sum(len(self.problem.replicas_on[s])
-                         for s in range(len(self.problem.servers))
-                         if self.problem.server_draining[s]))
+    def _cost_of(self, server: int) -> float:
+        if self.problem.server_draining[server]:
+            return float(len(self.problem.replicas_on[server]))
+        return 0.0
+
+    def _rebuild(self) -> None:
+        super()._rebuild()
+        self._viol_sum = int(sum(self._cost))
+
+    def _cost_changed(self, server: int, old: float, new: float) -> None:
+        self._viol_sum += int(new) - int(old)
 
     def violations(self) -> int:
-        return int(self.total_cost())
+        self._sync()
+        return self._viol_sum
 
-    def violating_servers(self) -> List[int]:
-        pairs = [(len(self.problem.replicas_on[s]), s)
-                 for s in range(len(self.problem.servers))
-                 if self.problem.server_draining[s] and self.problem.replicas_on[s]]
-        return [s for _count, s in sorted(pairs, reverse=True)]
+    def recount_violations(self) -> int:
+        return int(sum(self._cost_of(s)
+                       for s in range(len(self.problem.servers))))
 
     def move_delta(self, replica: int, src: int, dst: int) -> float:
         if src == dst:

@@ -22,6 +22,22 @@ experiment can ablate them:
 
 ``OPTIMIZED`` enables everything; ``BASELINE`` (Fig 22's comparison arm)
 disables them all.
+
+Hot-path notes (this is the most performance-critical loop in the repo —
+it dominates the Fig 21/22 benchmarks):
+
+* goal evaluators keep dirty-set-maintained caches, so per-round
+  ``refresh`` / ``violating_servers`` / ``violations`` touch only the
+  servers changed since the last round instead of sweeping the fleet;
+* the ``weight * move_delta`` inner loops run over lists of bound methods
+  compiled once per batch (no per-evaluation attribute lookups or
+  generator frames);
+* equivalence-class keys come from a per-replica cache on the problem.
+
+Every solve carries a :class:`~repro.metrics.profiler.Profiler` in
+``SolveResult.profile`` with per-stage wall-clock (refresh / hot_scan /
+candidates / evaluate / swap / apply) and counters; see
+``scripts/profile_solver.py`` for function-level cProfile output.
 """
 
 from __future__ import annotations
@@ -31,6 +47,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..metrics.profiler import Profiler
 from ..metrics.timeseries import TimeSeries
 from .goals import AffinityGoal, CapacityGoal, Goal, SpreadGoal
 from .problem import PlacementProblem
@@ -75,10 +92,17 @@ class SolveResult:
     timed_out: bool = False
     trace: TimeSeries = field(default_factory=lambda: TimeSeries(name="violations"))
     changed_replicas: List[Tuple[int, int, int]] = field(default_factory=list)
+    profile: Profiler = field(default_factory=Profiler)
 
     @property
     def solved(self) -> bool:
         return self.final_violations == 0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        if self.solve_time <= 0.0:
+            return 0.0
+        return self.evaluations / self.solve_time
 
 
 class LocalSearch:
@@ -93,6 +117,7 @@ class LocalSearch:
         self.config = config
         self.rng = random.Random(config.rng_seed)
         self.capacity_goals = [g for g in self.goals if isinstance(g, CapacityGoal)]
+        self._fits_checks = [g.fits for g in self.capacity_goals]
         self._affinity = next((g for g in self.goals
                                if isinstance(g, AffinityGoal)), None)
         self._spreads = [g for g in self.goals if isinstance(g, SpreadGoal)]
@@ -104,6 +129,25 @@ class LocalSearch:
         for server, region in enumerate(problem.server_region):
             self._groups[region].append(server)
         self._all_servers = list(range(len(problem.servers)))
+        # With non-negative loads, a capacity goal's move_delta can never
+        # exceed the veto threshold once ``fits`` accepted the target (the
+        # destination stays within its limit and the source only sheds
+        # load), so _best_target can skip those higher-goal calls.  Swaps
+        # check the veto *before* fits and keep the full list.
+        self._nonneg_loads = all(min(load, default=0.0) >= 0.0
+                                 for load in problem.loads)
+        # Force the per-replica caches used by the hot path to build now,
+        # while we are still in setup, instead of lazily on the first
+        # dedup/swap inside the timed solve loop.
+        if config.equivalence_classes:
+            problem.equivalence_load_keys
+        if config.allow_swaps:
+            problem.replica_total_load
+        # Compiled per-batch evaluation lists (see _solve_batch).
+        self._batch_evals: List[Tuple[float, "callable"]] = []
+        self._higher_evals: List["callable"] = []
+        self._higher_evals_post_fits: List["callable"] = []
+        self._contrib_checks: Optional[List["callable"]] = None
 
     # -- public entry point -----------------------------------------------------
 
@@ -143,6 +187,10 @@ class LocalSearch:
         result.changed_replicas = self.problem.assignment_diff(before)
         if result.solve_time >= self.config.time_budget:
             result.timed_out = True
+        profile = result.profile
+        profile.set_counter("evaluations", result.evaluations)
+        profile.set_counter("moves", result.moves)
+        profile.set_counter("swaps", result.swaps)
         return result
 
     def total_violations(self) -> int:
@@ -161,21 +209,43 @@ class LocalSearch:
     def _solve_batch(self, batch: List[Goal], higher: List[Goal],
                      deadline: float, result: SolveResult) -> None:
         config = self.config
+        profile = result.profile
+        perf = time.perf_counter
+        # Compile the inner evaluation loops once per batch: plain lists of
+        # bound methods, so _best_target runs without generator frames or
+        # repeated attribute lookups.
+        self._batch_evals = [(g.weight, g.move_delta) for g in batch]
+        self._higher_evals = [g.move_delta for g in higher]
+        self._higher_evals_post_fits = (
+            [g.move_delta for g in higher if not isinstance(g, CapacityGoal)]
+            if self._nonneg_loads else self._higher_evals)
+        overridden = [g.contributes for g in batch
+                      if type(g).contributes is not Goal.contributes]
+        # If any batch goal uses the default always-True contributes, the
+        # candidate filter passes every replica — skip it entirely.
+        self._contrib_checks = (overridden if len(overridden) == len(batch)
+                                else None)
         stall_rounds = 0
         while True:
-            if time.perf_counter() >= deadline:
+            if perf() >= deadline:
                 result.timed_out = True
                 return
             if result.moves + result.swaps >= config.move_budget:
                 return
+            t0 = perf()
             for goal in batch:
                 goal.refresh()
+            profile.add("refresh", perf() - t0)
+            t0 = perf()
             hot_servers = self._hot_servers(batch)
+            profile.add("hot_scan", perf() - t0)
+            profile.count("rounds")
+            profile.count("hot_servers", len(hot_servers))
             if not hot_servers:
                 return
             progressed = False
             for server in hot_servers:
-                if time.perf_counter() >= deadline:
+                if perf() >= deadline:
                     result.timed_out = True
                     return
                 if result.moves + result.swaps >= config.move_budget:
@@ -190,6 +260,12 @@ class LocalSearch:
                     return  # no improving move found twice in a row: converged
 
     def _hot_servers(self, batch: List[Goal]) -> List[int]:
+        """Ordered union of each goal's violating servers.
+
+        The per-goal lists come from the goals' dirty-set-maintained sorted
+        caches, so a round in which only two servers changed costs two
+        cache repairs per goal — not a fleet sweep plus full sort.
+        """
         ordered: List[int] = []
         seen = set()
         for goal in batch:
@@ -203,32 +279,62 @@ class LocalSearch:
 
     def _improve_server(self, server: int, batch: List[Goal],
                         higher: List[Goal], result: SolveResult) -> bool:
+        profile = result.profile
+        perf = time.perf_counter
+        t0 = perf()
         replicas = self._candidate_replicas(server, batch)
+        profile.add("candidates", perf() - t0)
+        chosen: Optional[int] = None
+        target: Optional[int] = None
+        t0 = perf()
         for replica in replicas:
-            target = self._best_target(replica, server, batch, higher, result)
+            target = self._best_target(replica, server, result)
             if target is not None:
-                self._apply_move(replica, server, target, result)
-                return True
+                chosen = replica
+                break
+        profile.add("evaluate", perf() - t0)
+        if chosen is not None:
+            self._apply_move(chosen, server, target, result)
+            return True
         if self.config.allow_swaps and replicas:
-            return self._try_swap(server, replicas[0], batch, higher, result)
+            t0 = perf()
+            swapped = self._try_swap(server, replicas[0], result)
+            profile.add("swap", perf() - t0)
+            return swapped
         return False
 
     def _candidate_replicas(self, server: int, batch: List[Goal]) -> List[int]:
         pinned = self.problem.replica_pinned
-        replicas = [r for r in self.problem.replicas_on[server]
-                    if not pinned[r]
-                    and any(goal.contributes(r) for goal in batch)]
+        checks = self._contrib_checks
+        if checks is None:
+            replicas = [r for r in self.problem.replicas_on[server]
+                        if not pinned[r]]
+        else:
+            replicas = [r for r in self.problem.replicas_on[server]
+                        if not pinned[r]
+                        and any(check(r) for check in checks)]
         if not replicas:
             return []
         config = self.config
         if config.large_first:
+            # Sort key: load normalized by this server's capacity, summed
+            # over metrics.  Computed inline (no per-element function call
+            # or generator frame); zero-capacity metrics contribute 0.0
+            # exactly as before, so the ordering is unchanged.
             loads = self.problem.loads
             capacity = self.problem.capacity[server]
-            def size(replica: int) -> float:
+            sizes = []
+            append = sizes.append
+            for replica in replicas:
                 load = loads[replica]
-                return sum(load[m] / capacity[m] if capacity[m] > 0 else 0.0
-                           for m in range(self.problem.num_metrics))
-            replicas.sort(key=size, reverse=True)
+                total = 0.0
+                for m, cap in enumerate(capacity):
+                    if cap > 0:
+                        total += load[m] / cap
+                append(total)
+            order = sorted(range(len(replicas)), key=sizes.__getitem__,
+                           reverse=True)
+            replicas = [replicas[i] for i in order]
         else:
             self.rng.shuffle(replicas)
         if config.equivalence_classes:
@@ -243,19 +349,39 @@ class LocalSearch:
         the same spread situation; evaluating one of them covers the class
         ("it figures out from the mathematical formula which shards are
         equivalent to one another and reuses the computation", §5.3).
+
+        The quantized load keys are precomputed per replica on the problem
+        (loads are immutable), so this is pure dict lookups.
         """
+        load_keys = self.problem.equivalence_load_keys
+        pref = (self._affinity.pref_region
+                if self._affinity is not None else None)
+        spreads = self._spreads
         seen = set()
         kept = []
-        for replica in replicas:
-            load_key = tuple(round(v, 6) for v in self.problem.loads[replica])
-            pref_key = (self._affinity.pref_region[replica]
-                        if self._affinity is not None else -1)
-            spread_key = tuple(goal.crowded(replica) for goal in self._spreads)
-            key = (load_key, pref_key, spread_key)
-            if key in seen:
-                continue
-            seen.add(key)
-            kept.append(replica)
+        if spreads:
+            for replica in replicas:
+                key = (load_keys[replica],
+                       pref[replica] if pref is not None else -1,
+                       tuple(goal.crowded(replica) for goal in spreads))
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(replica)
+        elif pref is not None:
+            for replica in replicas:
+                key = (load_keys[replica], pref[replica])
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(replica)
+        else:
+            for replica in replicas:
+                key = load_keys[replica]
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(replica)
         return kept
 
     # -- target selection -----------------------------------------------------------
@@ -295,35 +421,57 @@ class LocalSearch:
                 unique.append(server)
         return unique
 
-    def _best_target(self, replica: int, src: int, batch: List[Goal],
-                     higher: List[Goal], result: SolveResult) -> Optional[int]:
+    def _best_target(self, replica: int, src: int,
+                     result: SolveResult) -> Optional[int]:
         best_delta = -1e-9
         best_target: Optional[int] = None
+        draining = self.problem.server_draining
+        fits_checks = self._fits_checks
+        higher_evals = self._higher_evals_post_fits
+        batch_evals = self._batch_evals
+        evaluations = 0
         for target in self._sample_targets(replica, src):
-            if self.problem.server_draining[target]:
+            if draining[target]:
                 continue
-            if not self._fits(replica, target):
+            fits = True
+            for check in fits_checks:
+                if not check(replica, target):
+                    fits = False
+                    break
+            if not fits:
                 continue
-            result.evaluations += 1
-            if any(goal.move_delta(replica, src, target) > 1e-9 for goal in higher):
-                continue  # never deteriorate already-solved batches
-            delta = sum(goal.weight * goal.move_delta(replica, src, target)
-                        for goal in batch)
+            evaluations += 1
+            vetoed = False
+            for move_delta in higher_evals:
+                if move_delta(replica, src, target) > 1e-9:
+                    vetoed = True  # never deteriorate already-solved batches
+                    break
+            if vetoed:
+                continue
+            delta = 0.0
+            for weight, move_delta in batch_evals:
+                delta += weight * move_delta(replica, src, target)
             if delta < best_delta:
                 best_delta = delta
                 best_target = target
+        result.evaluations += evaluations
         return best_target
 
     def _fits(self, replica: int, target: int) -> bool:
-        return all(goal.fits(replica, target) for goal in self.capacity_goals)
+        for check in self._fits_checks:
+            if not check(replica, target):
+                return False
+        return True
 
     # -- applying moves ---------------------------------------------------------------
 
     def _apply_move(self, replica: int, src: int, dst: int,
                     result: SolveResult) -> None:
+        t0 = time.perf_counter()
         self.problem.move(replica, dst)
         for goal in self.goals:
             goal.on_move(replica, src, dst)
+        result.profile.add("apply", time.perf_counter() - t0)
         result.moves += 1
         if result.moves % self.config.trace_interval == 0:
             result.trace.record(time.perf_counter() - self._start_wall,
@@ -331,8 +479,8 @@ class LocalSearch:
 
     # -- swaps -------------------------------------------------------------------------
 
-    def _try_swap(self, hot: int, hot_replica: int, batch: List[Goal],
-                  higher: List[Goal], result: SolveResult) -> bool:
+    def _try_swap(self, hot: int, hot_replica: int,
+                  result: SolveResult) -> bool:
         """Two-way swap: big replica off the hot server, small one back.
 
         Tried only when no single move improves ("in addition to moving
@@ -340,28 +488,31 @@ class LocalSearch:
         shards", §5.3).
         """
         problem = self.problem
+        total_load = problem.replica_total_load
+        higher_evals = self._higher_evals
+        batch_evals = self._batch_evals
         for cold in self._sample_targets(hot_replica, hot)[:6]:
             cold_replicas = [r for r in problem.replicas_on[cold]
                              if not problem.replica_pinned[r]]
             if not cold_replicas:
                 continue
-            cold_replica = min(
-                cold_replicas,
-                key=lambda r: sum(problem.loads[r]))
+            cold_replica = min(cold_replicas, key=total_load.__getitem__)
             if cold_replica == hot_replica:
                 continue
-            delta = 0.0
             ok = True
-            for goal in higher + batch:
-                move_out = goal.move_delta(hot_replica, hot, cold)
-                move_in = goal.move_delta(cold_replica, cold, hot)
-                combined = move_out + move_in
-                if goal in higher and combined > 1e-9:
+            for move_delta in higher_evals:
+                combined = (move_delta(hot_replica, hot, cold)
+                            + move_delta(cold_replica, cold, hot))
+                if combined > 1e-9:
                     ok = False
                     break
-                if goal in batch:
-                    delta += goal.weight * combined
-            if not ok or delta >= -1e-9:
+            if not ok:
+                continue
+            delta = 0.0
+            for weight, move_delta in batch_evals:
+                delta += weight * (move_delta(hot_replica, hot, cold)
+                                   + move_delta(cold_replica, cold, hot))
+            if delta >= -1e-9:
                 continue
             # Capacity check for the pair (approximate: apply out first).
             if not self._fits(hot_replica, cold):

@@ -144,6 +144,16 @@ class PlacementProblem:
             if server_idx != -1:
                 self._add_usage(replica_idx, server_idx)
 
+        # Mutation counter: bumped by every effective ``move``.  Goal
+        # evaluators cache per-server costs keyed on this version so they
+        # can detect assignment changes made behind their back (tests and
+        # callers may call ``move`` without notifying goals) and fall back
+        # to a full recount.
+        self.version: int = 0
+        # Lazily built per-replica caches (loads are immutable).
+        self._equiv_load_keys: Optional[List[Tuple[float, ...]]] = None
+        self._replica_total_load: Optional[List[float]] = None
+
     # -- assignment mutation -------------------------------------------------
 
     def _add_usage(self, replica_idx: int, server_idx: int) -> None:
@@ -170,6 +180,25 @@ class PlacementProblem:
         self.assignment[replica_idx] = target_server
         if target_server != -1:
             self._add_usage(replica_idx, target_server)
+        self.version += 1
+
+    # -- per-replica caches ----------------------------------------------------
+
+    @property
+    def equivalence_load_keys(self) -> List[Tuple[float, ...]]:
+        """Quantized load-vector key per replica (for solver equivalence
+        classes).  Loads are immutable, so this is computed once."""
+        if self._equiv_load_keys is None:
+            self._equiv_load_keys = [tuple(round(v, 6) for v in load)
+                                     for load in self.loads]
+        return self._equiv_load_keys
+
+    @property
+    def replica_total_load(self) -> List[float]:
+        """``sum(load)`` per replica, cached (used by swap target choice)."""
+        if self._replica_total_load is None:
+            self._replica_total_load = [sum(load) for load in self.loads]
+        return self._replica_total_load
 
     # -- statistics -----------------------------------------------------------
 

@@ -319,3 +319,96 @@ class TestDeterminism:
             return trace
 
         assert build() == build()
+
+
+class TestPendingEvents:
+    """The pending-event count is a live counter, not a heap scan; these
+    tests pin the transitions (push, cancel, tombstone pop, execution)."""
+
+    def test_counts_scheduled_events(self):
+        engine = Engine()
+        assert engine.pending_events == 0
+        engine.call_after(1.0, lambda: None)
+        engine.call_after(2.0, lambda: None)
+        assert engine.pending_events == 2
+
+    def test_execution_decrements(self):
+        engine = Engine()
+        engine.call_after(1.0, lambda: None)
+        engine.call_after(2.0, lambda: None)
+        engine.run(until=1.0)
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_decrements_once(self):
+        engine = Engine()
+        handle = engine.call_after(1.0, lambda: None)
+        engine.call_after(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending_events == 1
+        handle.cancel()  # idempotent: no double decrement
+        assert engine.pending_events == 1
+
+    def test_popping_cancelled_tombstone_does_not_double_count(self):
+        engine = Engine()
+        handle = engine.call_after(1.0, lambda: None)
+        engine.call_after(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending_events == 1
+        engine.run()  # pops the tombstone and the live event
+        assert engine.pending_events == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        engine = Engine()
+        fired = []
+        handle = engine.call_after(1.0, lambda: fired.append(True))
+        engine.call_after(2.0, lambda: None)
+        engine.run(until=1.0)
+        assert fired == [True]
+        handle.cancel()  # already executed: must not decrement
+        assert engine.pending_events == 1
+
+    def test_callback_cancelling_own_handle_is_noop(self):
+        engine = Engine()
+        handles = []
+        engine.call_after(2.0, lambda: None)
+        handles.append(engine.call_after(1.0, lambda: handles[0].cancel()))
+        engine.run(until=1.0)
+        assert engine.pending_events == 1
+
+    def test_callback_scheduling_and_cancelling(self):
+        engine = Engine()
+
+        def spawn_then_cancel():
+            handle = engine.call_after(5.0, lambda: None)
+            handle.cancel()
+            engine.call_after(1.0, lambda: None)
+
+        engine.call_after(1.0, spawn_then_cancel)
+        engine.run(until=1.0)
+        assert engine.pending_events == 1
+
+    def test_max_events_keeps_deferred_event_pending(self):
+        engine = Engine()
+        engine.call_after(1.0, lambda: None)
+        engine.call_after(2.0, lambda: None)
+        engine.run(max_events=1)
+        assert engine.pending_events == 1
+
+    def test_matches_naive_heap_scan(self):
+        import random as _random
+        rng = _random.Random(7)
+        engine = Engine()
+        handles = []
+        for _ in range(200):
+            handles.append(engine.call_after(rng.uniform(0, 10), lambda: None))
+        for handle in rng.sample(handles, 80):
+            handle.cancel()
+        for handle in rng.sample(handles, 40):  # overlaps: re-cancels
+            handle.cancel()
+        naive = sum(1 for ev in engine._heap if not ev.cancelled)
+        assert engine.pending_events == naive
+        engine.run(until=5.0)
+        naive = sum(1 for ev in engine._heap if not ev.cancelled and not ev.done)
+        assert engine.pending_events == naive

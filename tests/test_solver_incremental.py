@@ -1,0 +1,196 @@
+"""Parity harness for the incremental goal-state accounting.
+
+The solver keeps per-goal cached per-server costs, a cached violation
+counter, and a sorted violating-server structure, all maintained through
+``on_move`` dirty sets.  These tests pin the central invariant: after any
+sequence of moves, the cached views must agree *exactly* with a naive
+recount — both ``recount_violations()`` on the live goal and a fresh goal
+instance built from the same problem state.
+
+Covered per goal type: notified moves (``on_move``), external moves
+(``problem.move`` without notification — the version guard must detect
+them and self-heal), and interleavings of the two.  Solver-level tests
+check end-state parity and move-sequence determinism with and without
+swaps.
+"""
+
+import random
+
+import pytest
+
+from repro.solver.goals import (
+    AffinityGoal,
+    BalanceGoal,
+    CapacityGoal,
+    DrainGoal,
+    SpreadGoal,
+    UtilizationGoal,
+)
+from repro.solver.local_search import BASELINE, OPTIMIZED, LocalSearch, SearchConfig
+from repro.solver.problem import PlacementProblem, ReplicaInfo, ServerInfo
+from repro.solver.specs import (
+    AffinitySpec,
+    BalanceSpec,
+    CapacitySpec,
+    DrainSpec,
+    ExclusionSpec,
+    Scope,
+    UtilizationSpec,
+)
+
+
+def build_problem(num_servers=9, num_shards=8, replicas_per_shard=3,
+                  load=25.0, seed=11, draining=(2,)):
+    rng = random.Random(seed)
+    servers = [
+        ServerInfo(name=f"s{i}", region=["A", "B", "C"][i % 3],
+                   datacenter=f"dc{i % 2}", rack=f"rack{i}",
+                   capacity=(100.0,),
+                   draining=(i in draining))
+        for i in range(num_servers)
+    ]
+    replicas = []
+    for shard in range(num_shards):
+        for copy in range(replicas_per_shard):
+            replicas.append(ReplicaInfo(
+                name=f"sh{shard}#{copy}", shard=f"sh{shard}",
+                load=(load + shard,),
+                preferred_region="A" if shard % 2 == 0 else None))
+    problem = PlacementProblem(["cpu"], servers, replicas)
+    problem.random_assignment(rng)
+    return problem
+
+
+GOAL_FACTORIES = {
+    "capacity": lambda p: CapacityGoal(p, CapacitySpec(metric="cpu")),
+    "utilization": lambda p: UtilizationGoal(
+        p, UtilizationSpec(metric="cpu", threshold=0.6), weight=1.0),
+    "balance-global": lambda p: BalanceGoal(
+        p, BalanceSpec(metric="cpu", band=0.05), weight=1.0),
+    "balance-region": lambda p: BalanceGoal(
+        p, BalanceSpec(metric="cpu", scope=Scope.REGION, band=0.05),
+        weight=1.0),
+    "affinity": lambda p: AffinityGoal(p, AffinitySpec()),
+    "spread-region": lambda p: SpreadGoal(p, ExclusionSpec(scope=Scope.REGION)),
+    "spread-rack": lambda p: SpreadGoal(p, ExclusionSpec(scope=Scope.RACK)),
+    "drain": lambda p: DrainGoal(p, DrainSpec()),
+}
+
+
+def assert_matches_fresh(goal, problem, factory):
+    """Cached accounting must agree exactly with a from-scratch instance."""
+    goal.refresh()
+    fresh = factory(problem)
+    fresh.refresh()
+    assert goal.violations() == goal.recount_violations()
+    assert goal.violations() == fresh.violations()
+    assert goal.total_cost() == pytest.approx(fresh.total_cost(), abs=1e-12)
+    assert goal.violating_servers() == fresh.violating_servers()
+
+
+@pytest.mark.parametrize("name", sorted(GOAL_FACTORIES))
+class TestIncrementalParity:
+    def test_notified_moves(self, name):
+        factory = GOAL_FACTORIES[name]
+        problem = build_problem()
+        goal = factory(problem)
+        rng = random.Random(5)
+        for step in range(300):
+            replica = rng.randrange(len(problem.replicas))
+            src = problem.assignment[replica]
+            dst = rng.randrange(len(problem.servers))
+            problem.move(replica, dst)
+            goal.on_move(replica, src, dst)
+            if step % 25 == 0:
+                assert_matches_fresh(goal, problem, factory)
+        assert_matches_fresh(goal, problem, factory)
+
+    def test_external_moves_self_heal(self, name):
+        factory = GOAL_FACTORIES[name]
+        problem = build_problem()
+        goal = factory(problem)
+        goal.violations()  # force the caches to build
+        rng = random.Random(6)
+        for _ in range(100):
+            replica = rng.randrange(len(problem.replicas))
+            problem.move(replica, rng.randrange(len(problem.servers)))
+        # No on_move notifications at all: the version guard must detect
+        # the drift and fall back to a full recount.
+        assert_matches_fresh(goal, problem, factory)
+
+    def test_interleaved_notified_and_external(self, name):
+        factory = GOAL_FACTORIES[name]
+        problem = build_problem()
+        goal = factory(problem)
+        rng = random.Random(7)
+        for step in range(200):
+            replica = rng.randrange(len(problem.replicas))
+            src = problem.assignment[replica]
+            dst = rng.randrange(len(problem.servers))
+            problem.move(replica, dst)
+            if rng.random() < 0.7:
+                goal.on_move(replica, src, dst)
+            if step % 40 == 0:
+                assert_matches_fresh(goal, problem, factory)
+        assert_matches_fresh(goal, problem, factory)
+
+    def test_noop_move_notifications(self, name):
+        """on_move with src == dst must not disturb the accounting."""
+        factory = GOAL_FACTORIES[name]
+        problem = build_problem()
+        goal = factory(problem)
+        rng = random.Random(8)
+        for _ in range(50):
+            replica = rng.randrange(len(problem.replicas))
+            src = problem.assignment[replica]
+            goal.on_move(replica, src, src)
+        assert_matches_fresh(goal, problem, factory)
+
+
+def _all_goals(problem):
+    return [factory(problem) for factory in GOAL_FACTORIES.values()]
+
+
+def _solve(config, seed=11):
+    problem = build_problem(seed=seed)
+    goals = _all_goals(problem)
+    search = LocalSearch(problem, goals, config)
+    result = search.solve()
+    return problem, goals, result
+
+
+@pytest.mark.parametrize("config", [
+    pytest.param(OPTIMIZED, id="optimized"),
+    pytest.param(SearchConfig(allow_swaps=False), id="no-swaps"),
+    pytest.param(BASELINE, id="baseline"),
+])
+class TestSolverParity:
+    def test_end_state_matches_recount(self, config):
+        problem, goals, _result = _solve(config)
+        for goal, factory in zip(goals, GOAL_FACTORIES.values()):
+            assert_matches_fresh(goal, problem, factory)
+
+    def test_identical_seeds_identical_moves(self, config):
+        _p1, _g1, r1 = _solve(config)
+        _p2, _g2, r2 = _solve(config)
+        assert r1.moves == r2.moves
+        assert r1.swaps == r2.swaps
+        assert r1.evaluations == r2.evaluations
+        assert r1.changed_replicas == r2.changed_replicas
+        assert _p1.assignment == _p2.assignment
+
+    def test_solver_reduces_violations(self, config):
+        problem, goals, result = _solve(config)
+        assert result.final_violations <= result.initial_violations
+        assert result.final_violations == sum(
+            g.recount_violations() for g in goals)
+
+
+class TestDrainSemantics:
+    def test_drain_counts_replicas_not_servers(self):
+        problem = build_problem(draining=(0, 1))
+        goal = DrainGoal(problem, DrainSpec())
+        expected = sum(len(problem.replicas_on[s])
+                       for s in (0, 1))
+        assert goal.violations() == expected
+        assert goal.recount_violations() == expected
