@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile
+.PHONY: test bench bench-quick bench-sim profile
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -16,6 +16,13 @@ bench-quick:
 		benchmarks/test_solver_hotpath.py::test_solver_hotpath_quick \
 		--benchmark-only -q
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Full experiment sweep (parallel where cores allow) -> BENCH_sim.json
+# with per-figure wall-clock, events/s, and speedups vs the checked-in
+# pre-optimization baseline.
+bench-sim:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_experiments.py \
+		--output BENCH_sim.json --baseline benchmarks/baseline_sim.json
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Run the figure experiments (optionally in parallel) and write BENCH_sim.json.
+
+Fans the independent experiment arms over a process pool (they share no
+state — each builds its own engine and RNG substreams from an explicit
+seed) and records per-figure wall-clock and events/second.  With
+``--baseline`` the report also embeds the pre-optimization numbers and
+per-figure speedups.
+
+Examples::
+
+    PYTHONPATH=src python scripts/run_experiments.py
+    PYTHONPATH=src python scripts/run_experiments.py --smoke --serial
+    PYTHONPATH=src python scripts/run_experiments.py \
+        --figures fig17 fig19 --processes 4 --output BENCH_sim.json \
+        --baseline benchmarks/baseline_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import runner  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="parallel experiment sweep -> BENCH_sim.json")
+    parser.add_argument("--figures", nargs="*", default=None,
+                        help="subset of figures to run (default: all)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="pool size (default: min(tasks, cpu_count))")
+    parser.add_argument("--serial", action="store_true",
+                        help="run tasks inline in this process")
+    parser.add_argument("--smoke", action="store_true",
+                        help="use the scaled-down task set (CI-friendly)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to embed and compare against")
+    args = parser.parse_args()
+
+    tasks = runner.SMOKE_TASKS if args.smoke else runner.DEFAULT_TASKS
+    if args.figures:
+        known = {task["figure"] for task in tasks}
+        unknown = set(args.figures) - known
+        if unknown:
+            parser.error(f"unknown figures: {sorted(unknown)} "
+                         f"(known: {sorted(known)})")
+        tasks = [task for task in tasks if task["figure"] in args.figures]
+
+    report = runner.run_experiments(tasks, processes=args.processes,
+                                    serial=args.serial)
+    if args.baseline:
+        runner.attach_baseline(report, args.baseline)
+
+    text = json.dumps(report, indent=1, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

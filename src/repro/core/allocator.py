@@ -176,8 +176,25 @@ class Allocator:
             cursor += 1
             return best.address
 
+        dropped_state = ReplicaState.DROPPED
+        primary_role = Role.PRIMARY
+        spec_has_primaries = self.spec.has_primaries()
+        replicas_view = table.replicas_view
         for shard in self.spec.shards:
-            replicas = table.replicas_of(shard.shard_id)
+            replicas = replicas_view(shard.shard_id)
+            # Fast path for the steady state: enough live replicas and a
+            # primary (when the app wants one) mean nothing below would
+            # plan any action for this shard.
+            live_count = 0
+            has_live_primary = False
+            for r in replicas:
+                if r.state is not dropped_state:
+                    live_count += 1
+                    if r.role is primary_role:
+                        has_live_primary = True
+            if (live_count >= shard.replica_count
+                    and (not spec_has_primaries or has_live_primary)):
+                continue
             live = [r for r in replicas
                     if r.state is not ReplicaState.DROPPED]
             missing = shard.replica_count - len(live)

@@ -109,6 +109,13 @@ class Orchestrator:
         self._started = False
         self._servers_root = SERVERS_PATH.format(app=spec.name)
         self._assignments_root = ASSIGNMENTS_PATH.format(app=spec.name)
+        # Persistence caches: per-address znodes already written at least
+        # once, and the serialized form of each replica (invalidated by
+        # identity/equality checks on the fields it covers).  Both are
+        # per-incarnation — a failover starts a new orchestrator with
+        # empty caches and rewrites everything once.
+        self._assignments_written: Set[str] = set()
+        self._replica_ser: Dict[str, tuple] = {}
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -270,30 +277,61 @@ class Orchestrator:
     def _write_assignments(self, address: str) -> None:
         name = address.replace("/", ":")
         path = f"{self._assignments_root}/{name}"
+        ready = ReplicaState.READY
+        pending = ReplicaState.PENDING
         data = [{"shard_id": r.shard_id, "role": r.role.value}
                 for r in self.table.on_address(address)
-                if r.state in (ReplicaState.READY, ReplicaState.PENDING)]
+                if r.state is ready or r.state is pending]
         if self.zookeeper.exists(path):
             self.zookeeper.set(path, data)
         else:
             self.zookeeper.create(path, data, make_parents=True)
+        self._assignments_written.add(address)
 
     def _write_all_assignments(self) -> None:
+        # Only addresses whose hosted replicas changed since the last
+        # write need a new znode value; nothing watches these nodes (app
+        # servers read them once at bootstrap), so skipping an identical
+        # rewrite is unobservable.  Every address still gets one initial
+        # write so the znode exists before any server bootstraps from it.
+        dirty = self.table.consume_dirty_addresses()
+        written = self._assignments_written
         for address in set(self.table.addresses()) | set(self.servers):
+            if address in written and address not in dirty:
+                continue
             self._write_assignments(address)
 
     def _persist_state(self) -> None:
-        """Orchestrator persistent state lives in ZooKeeper (§3.2)."""
+        """Orchestrator persistent state lives in ZooKeeper (§3.2).
+
+        Serialized replica dicts are cached per replica and reused while
+        the covered fields (role, state, address) are unchanged —
+        publishes touch a handful of replicas but persist all of them.
+        """
         path = STATE_PATH.format(app=self.spec.name)
-        data = {
-            "version": self.table.last_version,
-            "replicas": [
-                {"replica_id": r.replica_id, "shard_id": r.shard_id,
-                 "address": r.address, "role": r.role.value,
-                 "state": r.state.value}
-                for r in self.table.all_replicas()
-            ],
-        }
+        cache = self._replica_ser
+        replicas = []
+        append = replicas.append
+        for r in self.table.all_replicas():
+            cached = cache.get(r.replica_id)
+            if (cached is not None and cached[0] is r.role
+                    and cached[1] is r.state and cached[2] == r.address):
+                append(cached[3])
+            else:
+                serialized = {"replica_id": r.replica_id,
+                              "shard_id": r.shard_id,
+                              "address": r.address, "role": r.role.value,
+                              "state": r.state.value}
+                cache[r.replica_id] = (r.role, r.state, r.address,
+                                       serialized)
+                append(serialized)
+        if len(cache) > 2 * len(replicas) + 64:
+            # Prune entries for dropped replicas so the cache stays
+            # proportional to the live table.
+            live = {r.replica_id for r in self.table.all_replicas()}
+            for replica_id in [k for k in cache if k not in live]:
+                del cache[replica_id]
+        data = {"version": self.table.last_version, "replicas": replicas}
         if self.zookeeper.exists(path):
             self.zookeeper.set(path, data)
         else:

@@ -84,6 +84,22 @@ class ShardMap:
                 return entry
         raise KeyError(f"shard {shard_id!r} not in map v{self.version}")
 
+    def routing_index(self) -> Tuple[List[int], List[ShardMapEntry]]:
+        """``(key_lows, entries)`` sorted by ``key_low``, computed once.
+
+        One published map fans out to every subscribed client; caching the
+        sorted interval index on the (immutable) map itself means N routers
+        share one sort instead of each re-sorting the same entries.  The
+        cache lives in the instance ``__dict__`` so the dataclass stays
+        frozen for its declared fields.
+        """
+        cached = self.__dict__.get("_routing_index")
+        if cached is None:
+            ordered = sorted(self.entries, key=lambda e: e.key_low)
+            cached = ([entry.key_low for entry in ordered], ordered)
+            object.__setattr__(self, "_routing_index", cached)
+        return cached
+
 
 class AssignmentTable:
     """The orchestrator's mutable, authoritative assignment state."""
@@ -97,6 +113,15 @@ class AssignmentTable:
         self._version = itertools.count(1)
         self.last_version = 0
         self._replica_counter = itertools.count()
+        # Incremental snapshot state: entries are rebuilt only for shards
+        # mutated since the last snapshot; the rest reuse the (frozen)
+        # ShardMapEntry from the previous publish.
+        self._dirty: set = set(self._by_shard)
+        self._entry_cache: Dict[str, ShardMapEntry] = {}
+        # Addresses whose hosted-replica set (or a hosted replica's
+        # role/state) changed since the orchestrator last persisted
+        # per-address assignments; consumed by consume_dirty_addresses.
+        self._dirty_addresses: set = set()
 
     def resume_versions_from(self, version: int) -> None:
         """Continue version numbering after a control-plane failover so
@@ -122,6 +147,8 @@ class AssignmentTable:
         self._replicas[replica.replica_id] = replica
         self._by_shard[shard_id].append(replica)
         self._by_address.setdefault(address, []).append(replica)
+        self._dirty.add(shard_id)
+        self._dirty_addresses.add(address)
         return replica
 
     def drop(self, replica_id: str) -> None:
@@ -130,6 +157,8 @@ class AssignmentTable:
             return
         replica.state = ReplicaState.DROPPED
         self._by_shard[replica.shard_id].remove(replica)
+        self._dirty.add(replica.shard_id)
+        self._dirty_addresses.add(replica.address)
         bucket = self._by_address.get(replica.address, [])
         if replica in bucket:
             bucket.remove(replica)
@@ -137,7 +166,10 @@ class AssignmentTable:
                 del self._by_address[replica.address]
 
     def set_state(self, replica_id: str, state: ReplicaState) -> None:
-        self._replicas[replica_id].state = state
+        replica = self._replicas[replica_id]
+        replica.state = state
+        self._dirty.add(replica.shard_id)
+        self._dirty_addresses.add(replica.address)
 
     def set_role(self, replica_id: str, role: Role) -> None:
         replica = self._replicas[replica_id]
@@ -148,9 +180,12 @@ class AssignmentTable:
                     f"shard {replica.shard_id} already has primary "
                     f"{current.replica_id}")
         replica.role = role
+        self._dirty.add(replica.shard_id)
+        self._dirty_addresses.add(replica.address)
 
     def relocate(self, replica_id: str, new_address: str) -> None:
         replica = self._replicas[replica_id]
+        self._dirty_addresses.add(replica.address)
         bucket = self._by_address.get(replica.address, [])
         if replica in bucket:
             bucket.remove(replica)
@@ -158,6 +193,8 @@ class AssignmentTable:
                 del self._by_address[replica.address]
         replica.address = new_address
         self._by_address.setdefault(new_address, []).append(replica)
+        self._dirty.add(replica.shard_id)
+        self._dirty_addresses.add(new_address)
 
     # -- queries ------------------------------------------------------------
 
@@ -166,6 +203,25 @@ class AssignmentTable:
 
     def replicas_of(self, shard_id: str) -> List[ReplicaAssignment]:
         return list(self._by_shard[shard_id])
+
+    def replicas_view(self, shard_id: str) -> List[ReplicaAssignment]:
+        """The internal replica list for a shard — read-only by contract.
+
+        Hot-path alternative to :meth:`replicas_of` (no per-call copy);
+        callers must not mutate the returned list or hold it across
+        table mutations.
+        """
+        return self._by_shard[shard_id]
+
+    def consume_dirty_addresses(self) -> set:
+        """Addresses whose assignments changed since the last call.
+
+        Returns the accumulated set and resets it; the orchestrator uses
+        this to rewrite only changed per-address assignment znodes.
+        """
+        dirty = self._dirty_addresses
+        self._dirty_addresses = set()
+        return dirty
 
     def primary_of(self, shard_id: str) -> Optional[ReplicaAssignment]:
         for replica in self._by_shard[shard_id]:
@@ -214,24 +270,42 @@ class AssignmentTable:
         then does it flip to DRAINING and leave the next published map.
         Stale clients that still route to it are served via forwarding
         inside the application server.
+
+        Entries are rebuilt incrementally: only shards touched by a
+        mutation since the previous snapshot are recomputed; the rest
+        reuse the frozen :class:`ShardMapEntry` already published (sound
+        because every mutation goes through this table — replica fields
+        are never written from outside, see the mutation methods above).
         """
+        cache = self._entry_cache
+        dirty = self._dirty
+        ready = ReplicaState.READY
+        primary_role = Role.PRIMARY
+        by_shard = self._by_shard
         entries = []
         for shard in self.spec.shards:
-            primary: Optional[str] = None
-            secondaries: List[str] = []
-            for replica in self._by_shard[shard.shard_id]:
-                if replica.state is ReplicaState.READY:
-                    if replica.role is Role.PRIMARY:
-                        primary = replica.address
-                    else:
-                        secondaries.append(replica.address)
-            entries.append(ShardMapEntry(
-                shard_id=shard.shard_id,
-                key_low=shard.key_range.low,
-                key_high=shard.key_range.high,
-                primary=primary,
-                secondaries=tuple(sorted(secondaries)),
-            ))
+            shard_id = shard.shard_id
+            entry = cache.get(shard_id)
+            if entry is None or shard_id in dirty:
+                primary: Optional[str] = None
+                secondaries: List[str] = []
+                for replica in by_shard[shard_id]:
+                    if replica.state is ready:
+                        if replica.role is primary_role:
+                            primary = replica.address
+                        else:
+                            secondaries.append(replica.address)
+                entry = ShardMapEntry(
+                    shard_id=shard_id,
+                    key_low=shard.key_range.low,
+                    key_high=shard.key_range.high,
+                    primary=primary,
+                    secondaries=tuple(sorted(secondaries)) if secondaries
+                    else (),
+                )
+                cache[shard_id] = entry
+            entries.append(entry)
+        dirty.clear()
         self.last_version = next(self._version)
         return ShardMap(app=self.spec.name, version=self.last_version,
                         entries=tuple(entries))

@@ -60,6 +60,10 @@ class ServiceRouter:
         self._lows: List[int] = []
         self._entries: List[ShardMapEntry] = []
         self.map_updates = 0
+        # address -> region (or None), valid for one registration epoch of
+        # the network; endpoint regions are immutable while registered.
+        self._region_cache: dict = {}
+        self._region_epoch = -1
 
     # -- map handling -----------------------------------------------------------
 
@@ -67,9 +71,9 @@ class ServiceRouter:
         if self._map is not None and shard_map.version <= self._map.version:
             return  # tree fan-out can reorder deliveries; ignore stale ones
         self._map = shard_map
-        ordered = sorted(shard_map.entries, key=lambda e: e.key_low)
-        self._lows = [entry.key_low for entry in ordered]
-        self._entries = ordered
+        # The sorted interval index is cached on the map itself and shared
+        # by every router that receives this publish.
+        self._lows, self._entries = shard_map.routing_index()
         self.map_updates += 1
 
     @property
@@ -90,9 +94,19 @@ class ServiceRouter:
     # -- replica selection ----------------------------------------------------------
 
     def _region_of(self, address: str) -> Optional[str]:
-        if self.network.has_endpoint(address):
-            return self.network.endpoint(address).region
-        return None
+        network = self.network
+        if network.registration_epoch != self._region_epoch:
+            self._region_cache = {}
+            self._region_epoch = network.registration_epoch
+        cache = self._region_cache
+        try:
+            return cache[address]
+        except KeyError:
+            pass
+        region = (network.endpoint(address).region
+                  if network.has_endpoint(address) else None)
+        cache[address] = region
+        return region
 
     def pick_address(self, key: int, prefer_primary: bool = True,
                      exclude: Tuple[str, ...] = ()) -> Tuple[str, str]:
@@ -137,6 +151,11 @@ class ServiceRouter:
         tried: Tuple[str, ...] = ()
         last_error = ""
         shard_id = ""
+        # One message dict per logical request, updated across retries.
+        # Safe to reuse: a retry only starts after the previous attempt
+        # settled, and servers copy the dict before async forwarding.
+        message = {"key": key, "shard_id": "", "payload": payload,
+                   "forwarded": False}
         for attempt in range(1, self.attempts + 1):
             try:
                 address, shard_id = self.pick_address(
@@ -145,10 +164,9 @@ class ServiceRouter:
                 last_error = str(exc)
                 yield Delay(self.retry_backoff)
                 continue
+            message["shard_id"] = shard_id
             call = self.network.rpc(
-                self.client_address, address, method,
-                {"key": key, "shard_id": shard_id, "payload": payload,
-                 "forwarded": False},
+                self.client_address, address, method, message,
                 timeout=self.rpc_timeout)
             result: RpcResult = yield Wait(call.done)
             if result.ok:

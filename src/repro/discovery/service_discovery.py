@@ -33,6 +33,12 @@ class Subscription:
     def cancel(self) -> None:
         self.active = False
 
+    def deliver(self, shard_map: ShardMap) -> None:
+        """Scheduled delivery callback (bound method — no closure per
+        publish x subscriber)."""
+        if self.active:
+            self.callback(shard_map)
+
 
 class ServiceDiscovery:
     """Versioned map store with delayed fan-out to subscribers."""
@@ -62,12 +68,7 @@ class ServiceDiscovery:
             if not subscription.active:
                 continue
             delay = subscription.delay + self.rng.uniform(0.0, self.jitter)
-            self.engine.call_after(
-                delay, lambda s=subscription, m=shard_map: self._deliver(s, m))
-
-    def _deliver(self, subscription: Subscription, shard_map: ShardMap) -> None:
-        if subscription.active:
-            subscription.callback(shard_map)
+            self.engine.call_after(delay, subscription.deliver, shard_map)
 
     def subscribe(self, app: str, callback: MapCallback,
                   delay: Optional[float] = None) -> Subscription:
@@ -80,7 +81,7 @@ class ServiceDiscovery:
         self._subscribers.setdefault(app, []).append(subscription)
         current = self._maps.get(app)
         if current is not None:
-            self.engine.call_after(0.0, lambda: self._deliver(subscription, current))
+            self.engine.call_after(0.0, subscription.deliver, current)
         return subscription
 
     def latest(self, app: str) -> Optional[ShardMap]:

@@ -1,0 +1,225 @@
+"""Parallel experiment runner: fan independent arms/seeds over processes.
+
+The figure experiments are embarrassingly parallel — every arm of
+Figure 17 and every figure's ``run()`` builds its own engine, topology
+and RNG substreams from an explicit seed, so arms share no state.  The
+runner dispatches them over a ``multiprocessing`` pool and aggregates
+per-figure wall-clock and events/second (via
+``Engine.total_processed_events``, which each worker process accumulates
+locally) into a machine-readable report (``BENCH_sim.json`` from
+``make bench-sim``).
+
+Task functions must be *top-level* (picklable); each returns the
+figure's headline numbers as a plain dict so the report stays
+JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+# -- headline task functions (top-level: the pool pickles references) --------
+
+
+def fig01_task(**kwargs: Any) -> Dict[str, Any]:
+    from . import fig01_planned_events
+    result = fig01_planned_events.run(**kwargs)
+    return {"planned_stops": result.planned_stops,
+            "unplanned_stops": result.unplanned_stops}
+
+
+def fig17_arm_task(arm: str, **kwargs: Any) -> Dict[str, Any]:
+    from . import fig17_availability
+    presets = {
+        "sm": dict(label="SM", graceful=True, with_task_controller=True),
+        "no_graceful_migration": dict(
+            label="no graceful migration", graceful=False,
+            with_task_controller=True),
+        "no_graceful_no_taskcontroller": dict(
+            label="no graceful migration & no TaskController",
+            graceful=False, with_task_controller=False),
+    }
+    result = fig17_availability._run_arm(**presets[arm], **kwargs)
+    return {"success_rate": result.success_rate,
+            "upgrade_duration": result.upgrade_duration,
+            "requests_failed": result.requests_failed,
+            "shard_moves": result.shard_moves}
+
+
+def fig18_task(**kwargs: Any) -> Dict[str, Any]:
+    from . import fig18_production_upgrades
+    result = fig18_production_upgrades.run(**kwargs)
+    return {"overall_error_rate": result.overall_error_rate,
+            "order_violations": result.order_violations,
+            "upgrades_run": result.upgrades_run,
+            "peak_moves": result.peak_moves()}
+
+
+def fig19_task(**kwargs: Any) -> Dict[str, Any]:
+    from . import fig19_geo_failover
+    result = fig19_geo_failover.run(**kwargs)
+    steady = result.phase_latency(0.0, result.failure_time)
+    outage = result.phase_latency(result.failure_time + 30.0,
+                                  result.recovery_time)
+    return {"steady_latency_ms": steady, "outage_latency_ms": outage,
+            "success_rate": result.success_rate}
+
+
+def fig23_task(**kwargs: Any) -> Dict[str, Any]:
+    from . import fig23_continuous_lb
+    result = fig23_continuous_lb.run(**kwargs)
+    return {"max_p99": result.max_p99(), "total_moves": result.total_moves()}
+
+
+#: The default sweep: every sim-heavy figure, Figure 17 split per arm so
+#: the three arms run concurrently under the pool.
+DEFAULT_TASKS: List[Dict[str, Any]] = [
+    {"figure": "fig17", "name": arm,
+     "fn": "repro.experiments.runner:fig17_arm_task",
+     "kwargs": {"arm": arm, "shards": 2_000, "servers": 60,
+                "restart_duration": 60.0, "request_rate": 60.0, "seed": 0}}
+    for arm in ("sm", "no_graceful_migration",
+                "no_graceful_no_taskcontroller")
+] + [
+    {"figure": "fig01", "name": "default",
+     "fn": "repro.experiments.runner:fig01_task",
+     "kwargs": {"machines": 120, "jobs": 4, "days": 60.0, "seed": 0}},
+    {"figure": "fig18", "name": "default",
+     "fn": "repro.experiments.runner:fig18_task",
+     "kwargs": {"shards": 400, "servers": 20, "day_length": 3_600.0,
+                "days": 2, "seed": 0}},
+    {"figure": "fig19", "name": "default",
+     "fn": "repro.experiments.runner:fig19_task",
+     "kwargs": {"shards": 1_000, "ec_shards": 400,
+                "servers_per_region": 30, "request_rate": 20.0, "seed": 0}},
+    {"figure": "fig23", "name": "default",
+     "fn": "repro.experiments.runner:fig23_task",
+     "kwargs": {"servers": 30, "shards": 200, "days": 3.0, "seed": 0}},
+]
+
+#: Scaled-down variant for CI and quick local runs.
+SMOKE_TASKS: List[Dict[str, Any]] = [
+    {"figure": "fig17", "name": arm,
+     "fn": "repro.experiments.runner:fig17_arm_task",
+     "kwargs": {"arm": arm, "shards": 300, "servers": 20,
+                "restart_duration": 30.0, "request_rate": 20.0, "seed": 0}}
+    for arm in ("sm", "no_graceful_migration",
+                "no_graceful_no_taskcontroller")
+] + [
+    {"figure": "fig01", "name": "smoke",
+     "fn": "repro.experiments.runner:fig01_task",
+     "kwargs": {"machines": 40, "jobs": 2, "days": 15.0, "seed": 0}},
+    {"figure": "fig18", "name": "smoke",
+     "fn": "repro.experiments.runner:fig18_task",
+     "kwargs": {"shards": 120, "servers": 10, "day_length": 1_200.0,
+                "days": 1, "seed": 0}},
+    {"figure": "fig19", "name": "smoke",
+     "fn": "repro.experiments.runner:fig19_task",
+     "kwargs": {"shards": 100, "ec_shards": 40, "servers_per_region": 6,
+                "request_rate": 10.0, "seed": 0}},
+    {"figure": "fig23", "name": "smoke",
+     "fn": "repro.experiments.runner:fig23_task",
+     "kwargs": {"servers": 15, "shards": 60, "days": 1.0, "seed": 0}},
+]
+
+
+def run_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one task, measuring wall-clock and engine events.
+
+    Runs inside a worker process (or inline with ``--serial``); the
+    event count is the delta of the process-wide
+    ``Engine.total_processed_events`` accumulator, so it covers every
+    engine the task creates.
+    """
+    from repro.sim.engine import Engine
+
+    module_name, _, func_name = task["fn"].rpartition(":")
+    func = getattr(importlib.import_module(module_name), func_name)
+    events_before = Engine.total_processed_events
+    start = time.perf_counter()
+    headline = func(**task["kwargs"])
+    wall = time.perf_counter() - start
+    events = Engine.total_processed_events - events_before
+    return {
+        "figure": task["figure"],
+        "name": task["name"],
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "headline": headline,
+    }
+
+
+def run_experiments(tasks: Optional[List[Dict[str, Any]]] = None,
+                    processes: Optional[int] = None,
+                    serial: bool = False) -> Dict[str, Any]:
+    """Run the task list and build the aggregated report dict.
+
+    ``processes`` defaults to ``min(len(tasks), cpu_count)``.  With one
+    core (or ``serial=True``) tasks run inline — the pool cannot beat
+    serial execution without cores to spread over, and the report's
+    ``processes`` field records what actually happened.
+    """
+    if tasks is None:
+        tasks = DEFAULT_TASKS
+    cpus = os.cpu_count() or 1
+    if processes is None:
+        processes = min(len(tasks), cpus)
+    processes = max(1, processes)
+    sweep_start = time.perf_counter()
+    if serial or processes == 1:
+        processes = 1
+        results = [run_task(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            results = pool.map(run_task, tasks)
+    sweep_wall = time.perf_counter() - sweep_start
+
+    figures: Dict[str, Any] = {}
+    for result in results:
+        figure = figures.setdefault(result["figure"], {
+            "wall_seconds": 0.0, "events": 0, "tasks": {}})
+        figure["tasks"][result["name"]] = {
+            "wall_seconds": result["wall_seconds"],
+            "events": result["events"],
+            "events_per_sec": result["events_per_sec"],
+            "headline": result["headline"],
+        }
+        figure["wall_seconds"] += result["wall_seconds"]
+        figure["events"] += result["events"]
+    for figure in figures.values():
+        figure["events_per_sec"] = (
+            figure["events"] / figure["wall_seconds"]
+            if figure["wall_seconds"] > 0 else 0.0)
+
+    total_events = sum(r["events"] for r in results)
+    return {
+        "processes": processes,
+        "cpu_count": cpus,
+        "sweep_wall_seconds": sweep_wall,
+        "total_events": total_events,
+        "total_events_per_sec": (total_events / sweep_wall
+                                 if sweep_wall > 0 else 0.0),
+        "figures": figures,
+    }
+
+
+def attach_baseline(report: Dict[str, Any],
+                    baseline_path: str) -> Dict[str, Any]:
+    """Merge a pre-optimization baseline file and compute speedups."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    report["baseline"] = baseline
+    speedups: Dict[str, float] = {}
+    baseline_figures = baseline.get("figures", {})
+    for name, figure in report["figures"].items():
+        base = baseline_figures.get(name)
+        if base and figure["wall_seconds"] > 0:
+            speedups[name] = base["wall_seconds"] / figure["wall_seconds"]
+    report["speedup_vs_baseline"] = speedups
+    return report

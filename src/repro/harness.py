@@ -97,10 +97,17 @@ def _latency_for(regions: Sequence[str]) -> LatencyModel:
     matrix = dict(DEFAULT_REGION_LATENCY)
     known = {r for pair in matrix for r in pair}
     extra = [r for r in regions if r not in known]
-    all_regions = list(known) + extra
+    # Sorted, orientation-aware fill: iterating the *set* of known regions
+    # made the fill order (and thus which (a, b) vs (b, a) orientation got
+    # the default) depend on PYTHONHASHSEED, so two processes with the
+    # same seed could disagree on cross-region latency — the default
+    # could even overwrite a configured pair through the symmetric
+    # expansion in LatencyModel.  See DESIGN.md, "Determinism contract".
+    all_regions = sorted(known) + extra
     for i, a in enumerate(all_regions):
         for b in all_regions[i + 1:]:
-            matrix.setdefault((a, b), 0.05)
+            if (a, b) not in matrix and (b, a) not in matrix:
+                matrix[(a, b)] = 0.05
     return LatencyModel(region_latency=matrix)
 
 

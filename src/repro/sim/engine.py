@@ -5,39 +5,58 @@ evaluation ran on Facebook's production fleet; we reproduce the control
 plane's behaviour on a simulated clock instead (see DESIGN.md,
 "Substitutions").
 
-The engine is a classic heap-scheduled event loop:
+The engine is a heap-scheduled event loop with a same-tick fast path:
 
-* :class:`Engine` owns the clock and the pending-event heap.
+* :class:`Engine` owns the clock, the pending-event heap, and an
+  *immediate-event deque* for ``delay == 0.0`` work (signal wakes,
+  same-tick completions).  Immediate events skip both heap operations —
+  O(1) append / popleft instead of two O(log n) sifts.
 * ``call_at`` / ``call_after`` schedule plain callbacks and return a
-  cancellable :class:`EventHandle`.
+  cancellable :class:`EventHandle`.  Both accept an optional ``arg`` so
+  hot paths can schedule ``callback(arg)`` without allocating a closure.
 * :class:`Process` wraps a generator so sequential simulation code can be
   written in direct style, yielding :class:`Delay`, :class:`Wait` (on a
   :class:`Signal`), or another :class:`Process` to join.
 
-Determinism: the heap breaks time ties with a monotonically increasing
-sequence number, so two runs with the same seed produce identical event
-orders.
+Determinism: every event — heap or immediate — is stamped with a
+monotonically increasing sequence number from one shared counter, and the
+run loop always executes the globally smallest ``(time, seq)`` pair next.
+Two runs with the same seed therefore produce identical event orders, and
+the immediate deque is purely an optimisation: it never reorders events
+relative to the heap-only engine (see DESIGN.md, "Determinism contract").
+
+Heap entries are ``(time, seq, event)`` tuples so ordering is resolved by
+C-level float/int comparison; ``seq`` is unique, so the event objects
+themselves are never compared.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+_NO_ARG = object()  # sentinel: "callback takes no argument"
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    done: bool = field(default=False, compare=False)  # executed by run()
+class _Event:
+    """One scheduled callback (heap- or deque-resident)."""
+
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled", "done")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], arg: Any) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.arg = arg
+        self.cancelled = False
+        self.done = False  # executed by run()
 
 
 class EventHandle:
@@ -45,7 +64,7 @@ class EventHandle:
 
     __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent, engine: "Engine") -> None:
+    def __init__(self, event: _Event, engine: "Engine") -> None:
         self._event = event
         self._engine = engine
 
@@ -72,9 +91,16 @@ class EventHandle:
 class Engine:
     """Heap-based discrete-event scheduler with a simulated clock."""
 
+    #: Events executed across every engine instance in this process.
+    #: Updated once per ``run()`` call (not per event), so the parallel
+    #: experiment runner can report events/s per worker without touching
+    #: the hot loop.
+    total_processed_events: int = 0
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[tuple[float, int, _Event]] = []
+        self._immediate: deque[_Event] = deque()
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
@@ -101,25 +127,47 @@ class Engine:
         """
         return self._pending
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at absolute simulated time ``when``."""
+    def call_at(self, when: float, callback: Callable[..., None],
+                arg: Any = _NO_ARG) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``.
+
+        With ``arg``, the callback is invoked as ``callback(arg)`` — the
+        zero-allocation alternative to ``lambda: callback(value)``.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at t={when:.6f}, current time is {self._now:.6f}"
             )
-        event = _ScheduledEvent(when, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
+        event = _Event(when, next(self._seq), callback, arg)
+        heapq.heappush(self._heap, (when, event.seq, event))
         self._pending += 1
         return EventHandle(event, self)
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def call_after(self, delay: float, callback: Callable[..., None],
+                   arg: Any = _NO_ARG) -> EventHandle:
         """Schedule ``callback`` after ``delay`` seconds."""
+        if delay == 0.0:
+            event = _Event(self._now, next(self._seq), callback, arg)
+            self._immediate.append(event)
+            self._pending += 1
+            return EventHandle(event, self)
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, arg)
+
+    def _schedule_immediate(self, callback: Callable[..., None],
+                            arg: Any = _NO_ARG) -> None:
+        """Same-tick scheduling without the :class:`EventHandle` wrapper.
+
+        The workhorse of :meth:`Signal.fire`: one ``_Event`` allocation and
+        a deque append per wake, nothing else.
+        """
+        self._immediate.append(_Event(self._now, next(self._seq),
+                                      callback, arg))
+        self._pending += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+        """Run until the queues drain, ``until`` is reached, or ``max_events``.
 
         Returns the simulated time when the run stopped.  When ``until`` is
         given, the clock is advanced to exactly ``until`` even if the last
@@ -129,28 +177,60 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         executed = 0
+        heap = self._heap
+        immediate = self._immediate
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap or immediate:
+                # Pick the globally smallest (time, seq): the immediate
+                # deque is FIFO with monotonically increasing seq, so only
+                # its head competes with the heap head.
+                if immediate:
+                    event = immediate[0]
+                    if heap:
+                        head = heap[0]
+                        if head[0] < event.time or (head[0] == event.time
+                                                    and head[1] < event.seq):
+                            event = head[2]
+                            from_heap = True
+                        else:
+                            from_heap = False
+                    else:
+                        from_heap = False
+                else:
+                    event = heap[0][2]
+                    from_heap = True
+                if event.cancelled:
+                    # Tombstones cost nothing beyond this pop.
+                    if from_heap:
+                        heappop(heap)
+                    else:
+                        immediate.popleft()
+                    continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
                 if max_events is not None and executed >= max_events:
-                    # Put it back: we only peeked.
-                    heapq.heappush(self._heap, event)
-                    break
+                    break  # we only peeked; the event stays queued
+                if from_heap:
+                    heappop(heap)
+                else:
+                    immediate.popleft()
                 self._now = event.time
                 # Marked done (and un-counted) before the callback runs, so
                 # a callback cancelling its own handle is a no-op.
                 event.done = True
                 self._pending -= 1
-                event.callback()
+                arg = event.arg
+                if arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(arg)
                 executed += 1
-                self._processed += 1
         finally:
             self._running = False
+            self._processed += executed
+            Engine.total_processed_events += executed
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -181,6 +261,8 @@ class Signal:
     many times; each fire wakes only the waiters registered at that moment.
     """
 
+    __slots__ = ("_engine", "_waiters", "fire_count", "last_value")
+
     def __init__(self, engine: Engine) -> None:
         self._engine = engine
         self._waiters: list[Callable[[Any], None]] = []
@@ -193,10 +275,15 @@ class Signal:
     def fire(self, value: Any = None) -> None:
         self.fire_count += 1
         self.last_value = value
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        # Wake on fresh immediate events so firing inside a process is
+        # safe; each wake is one deque append, no per-waiter closure.
+        schedule = self._engine._schedule_immediate
         for waiter in waiters:
-            # Wake on a fresh event so firing inside a process is safe.
-            self._engine.call_after(0.0, lambda w=waiter: w(value))
+            schedule(waiter, value)
 
 
 class Wait:
@@ -219,6 +306,9 @@ class Process:
 
     The generator's return value becomes :attr:`result`.
     """
+
+    __slots__ = ("engine", "name", "_generator", "finished", "result",
+                 "exception", "_done_signal")
 
     def __init__(self, engine: Engine, generator: Generator[Any, Any, Any], name: str = "") -> None:
         self.engine = engine
@@ -249,14 +339,16 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if isinstance(yielded, Delay):
-            self.engine.call_after(yielded.seconds, lambda: self._step(None))
+            self.engine.call_after(yielded.seconds, self._step, None)
         elif isinstance(yielded, Wait):
             yielded.signal._add_waiter(self._step)
         elif isinstance(yielded, Process):
             if yielded.finished:
-                self.engine.call_after(0.0, lambda: self._step(yielded.result))
+                self.engine._schedule_immediate(self._step, yielded.result)
             else:
-                yielded._done_signal._add_waiter(lambda _v: self._step(yielded.result))
+                # The done signal fires with the process result, which is
+                # exactly what the joiner must receive.
+                yielded._done_signal._add_waiter(self._step)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {yielded!r}"

@@ -8,6 +8,15 @@ with optional jitter, message loss, downed endpoints and region partitions.
 RPCs complete asynchronously: :meth:`Network.rpc` returns an
 :class:`RpcCall` whose ``done`` signal fires with an :class:`RpcResult`.
 Generator processes can simply ``result = yield Wait(call.done)``.
+
+The delivery machinery is allocation-lean: each RPC is one
+:class:`_RpcOp` (``__slots__``) whose bound methods serve as the scheduled
+callbacks, so the happy path — synchronous handler, no loss, no partition,
+both endpoints up — is exactly two scheduled events (request delivery,
+response delivery) with no intermediate closures.  The slow paths
+(AsyncReply, drops, partitions, mid-flight crash re-checks) run through
+the same object and are behaviourally identical to the closure-based
+implementation they replaced.
 """
 
 from __future__ import annotations
@@ -57,11 +66,16 @@ class RpcCall:
         self.done = Signal(engine)
         self.result: Optional[RpcResult] = None
 
-    def _complete(self, result: RpcResult) -> None:
+    def _complete(self, result: RpcResult) -> bool:
+        """First completion (value or timeout) wins; returns whether this
+        call was the winner.  All completion accounting keys off this one
+        guard so late losers (e.g. a timeout firing after an earlier
+        failure) can never double-count."""
         if self.result is not None:
-            return  # first completion (value or timeout) wins
+            return False
         self.result = result
         self.done.fire(result)
+        return True
 
 
 def wait_rpc(call: RpcCall):
@@ -129,6 +143,8 @@ class Endpoint:
     (errors should never pass silently).
     """
 
+    __slots__ = ("address", "region", "up", "_handlers")
+
     def __init__(self, address: str, region: str) -> None:
         self.address = address
         self.region = region
@@ -147,7 +163,13 @@ class Endpoint:
 
 
 class LatencyModel:
-    """Region-pair one-way latency with multiplicative jitter."""
+    """Region-pair one-way latency with multiplicative jitter.
+
+    ``(src_region, dst_region) -> base latency`` is resolved through one
+    dict lookup: the matrix is pre-populated with both directions of every
+    configured pair plus the ``(r, r)`` intra-region diagonal, so the hot
+    path never branches on region equality or handles ``KeyError``.
+    """
 
     def __init__(self,
                  region_latency: Optional[Dict[Tuple[str, str], float]] = None,
@@ -156,28 +178,127 @@ class LatencyModel:
         self.intra_region = intra_region
         self.jitter_fraction = jitter_fraction
         self._matrix: Dict[Tuple[str, str], float] = {}
+        self._configured: set[Tuple[str, str]] = set()
         for (a, b), lat in (region_latency or DEFAULT_REGION_LATENCY).items():
             self._matrix[(a, b)] = lat
             self._matrix[(b, a)] = lat
+            self._configured.add((a, b))
+            self._configured.add((b, a))
+        for region in {r for pair in self._configured for r in pair}:
+            self._matrix.setdefault((region, region), intra_region)
 
     def base_latency(self, src_region: str, dst_region: str) -> float:
+        latency = self._matrix.get((src_region, dst_region))
+        if latency is not None:
+            return latency
         if src_region == dst_region:
+            # Regions absent from the matrix still have an intra latency;
+            # cache the pair so repeat lookups hit the dict.
+            self._matrix[(src_region, dst_region)] = self.intra_region
             return self.intra_region
-        try:
-            return self._matrix[(src_region, dst_region)]
-        except KeyError:
-            raise NetworkError(
-                f"no latency configured between {src_region!r} and {dst_region!r}"
-            ) from None
+        raise NetworkError(
+            f"no latency configured between {src_region!r} and {dst_region!r}"
+        )
 
     def sample(self, src_region: str, dst_region: str, rng: random.Random) -> float:
-        base = self.base_latency(src_region, dst_region)
+        base = self._matrix.get((src_region, dst_region))
+        if base is None:
+            base = self.base_latency(src_region, dst_region)
         if not self.jitter_fraction:
             return base
         return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
 
     def regions(self) -> set[str]:
-        return {r for pair in self._matrix for r in pair}
+        return {r for pair in self._configured for r in pair}
+
+
+class _RpcOp:
+    """Delivery state machine for one RPC.
+
+    Bound methods of this object are the scheduled callbacks; together
+    with the engine's ``arg``-aware scheduling this removes the ~6 nested
+    closures the old implementation allocated per call.
+    """
+
+    __slots__ = ("net", "call", "src", "dst", "timeout", "start",
+                 "method", "payload", "req_latency")
+
+    def __init__(self, net: "Network", call: RpcCall,
+                 src: Optional[Endpoint], dst: Optional[Endpoint],
+                 method: str, payload: Any, timeout: float,
+                 start: float) -> None:
+        self.net = net
+        self.call = call
+        self.src = src
+        self.dst = dst
+        self.method = method
+        self.payload = payload
+        self.timeout = timeout
+        self.start = start
+
+    def fail(self, reason: str) -> None:
+        """Complete with a failure — the *only* place ``rpcs_failed`` is
+        counted, guarded by the call's first-completion-wins check."""
+        net = self.net
+        call = self.call
+        if call.result is None and call._complete(
+                RpcResult(ok=False, error=reason,
+                          latency=net.engine.now - self.start)):
+            net.rpcs_failed += 1
+
+    def deliver_request(self) -> None:
+        """Request arrives at the destination (scheduled at send time)."""
+        net = self.net
+        dst = self.dst
+        # Re-check liveness at delivery time: the destination may have
+        # crashed (or a partition formed) while the request was in flight.
+        if not dst.up or net._partitioned(self.src.region, dst.region):
+            # Note: remaining time is computed from the sampled request
+            # latency (not now - start) to keep float arithmetic — and so
+            # the event trace — bit-identical to the pre-fast-path engine.
+            remaining = self.timeout - self.req_latency
+            net.engine.call_after(max(0.0, remaining), self.fail, "timeout")
+            return
+        try:
+            value = dst.handle(self.method, self.payload)
+        except Exception as exc:  # handler errors surface at the caller
+            self._send_response(False, None, f"{type(exc).__name__}: {exc}")
+            return
+        if isinstance(value, AsyncReply):
+            value._on_settle(self._reply_settled)
+            # A reply the server never settles must still time out at the
+            # caller (first completion wins if it does settle).
+            remaining = self.timeout - (net.engine.now - self.start)
+            net.engine.call_after(max(0.0, remaining), self.fail, "timeout")
+        else:
+            self._send_response(True, value, "")
+
+    def _reply_settled(self, reply: AsyncReply) -> None:
+        self._send_response(reply._ok, reply._value, reply._error)
+
+    def _send_response(self, ok: bool, value: Any, error: str) -> None:
+        net = self.net
+        latency = net.latency.sample(self.dst.region, self.src.region, net.rng)
+        if ok:
+            # The completion time is known now, so the result object is
+            # precomputed and the delivery callback just hands it over.
+            result = RpcResult(ok=True, value=value,
+                               latency=net.engine.now + latency - self.start)
+            net.engine.call_after(latency, self._deliver_ok, result)
+        else:
+            net.engine.call_after(latency, self.fail_response, error)
+
+    def _deliver_ok(self, result: RpcResult) -> None:
+        if not self.src.up:
+            self.fail("caller down")
+            return
+        self.call._complete(result)
+
+    def fail_response(self, error: str) -> None:
+        if not self.src.up:
+            self.fail("caller down")
+        else:
+            self.fail(error)
 
 
 class Network:
@@ -204,6 +325,9 @@ class Network:
         self._partitions: set[frozenset[str]] = set()
         self.rpcs_sent = 0
         self.rpcs_failed = 0
+        #: Bumped whenever the endpoint table changes; routers key their
+        #: address→region caches on it.
+        self.registration_epoch = 0
 
     # -- endpoint management -------------------------------------------------
 
@@ -212,10 +336,12 @@ class Network:
             raise NetworkError(f"duplicate endpoint address {address!r}")
         endpoint = Endpoint(address, region)
         self._endpoints[address] = endpoint
+        self.registration_epoch += 1
         return endpoint
 
     def unregister(self, address: str) -> None:
-        self._endpoints.pop(address, None)
+        if self._endpoints.pop(address, None) is not None:
+            self.registration_epoch += 1
 
     def endpoint(self, address: str) -> Endpoint:
         try:
@@ -238,6 +364,8 @@ class Network:
         self._partitions.discard(frozenset((region_a, region_b)))
 
     def _partitioned(self, region_a: str, region_b: str) -> bool:
+        if not self._partitions:
+            return False
         return frozenset((region_a, region_b)) in self._partitions
 
     # -- RPC -----------------------------------------------------------------
@@ -245,83 +373,29 @@ class Network:
     def rpc(self, src_address: str, dst_address: str, method: str,
             payload: Any = None, timeout: Optional[float] = None) -> RpcCall:
         """Send an RPC; the returned call's ``done`` signal fires exactly once."""
-        call = RpcCall(self.engine)
-        timeout = self.default_timeout if timeout is None else timeout
-        start = self.engine.now
+        engine = self.engine
+        call = RpcCall(engine)
+        if timeout is None:
+            timeout = self.default_timeout
         self.rpcs_sent += 1
 
-        src = self._endpoints.get(src_address)
-        dst = self._endpoints.get(dst_address)
-
-        def fail(reason: str) -> None:
-            if call.result is not None:
-                return  # already completed successfully
-            self.rpcs_failed += 1
-            call._complete(RpcResult(ok=False, error=reason,
-                                     latency=self.engine.now - start))
+        endpoints = self._endpoints
+        src = endpoints.get(src_address)
+        dst = endpoints.get(dst_address)
+        op = _RpcOp(self, call, src, dst, method, payload, timeout,
+                    engine.now)
 
         if src is None:
-            self.engine.call_after(0.0, lambda: fail(f"unknown source {src_address!r}"))
+            engine.call_after(0.0, op.fail, f"unknown source {src_address!r}")
             return call
-        if dst is None or not src.up:
-            self.engine.call_after(timeout, lambda: fail("timeout"))
-            return call
-
-        dropped = (
-            not dst.up
-            or self._partitioned(src.region, dst.region)
-            or (self.loss_probability and self.rng.random() < self.loss_probability)
-        )
-        if dropped:
-            self.engine.call_after(timeout, lambda: fail("timeout"))
+        if (dst is None or not src.up or not dst.up
+                or self._partitioned(src.region, dst.region)
+                or (self.loss_probability
+                    and self.rng.random() < self.loss_probability)):
+            engine.call_after(timeout, op.fail, "timeout")
             return call
 
         request_latency = self.latency.sample(src.region, dst.region, self.rng)
-
-        def deliver_request() -> None:
-            # Re-check liveness at delivery time: the destination may have
-            # crashed while the request was in flight.
-            if not dst.up or self._partitioned(src.region, dst.region):
-                self.engine.call_after(max(0.0, timeout - request_latency),
-                                       lambda: fail("timeout"))
-                return
-            try:
-                value = dst.handle(method, payload)
-            except Exception as exc:  # handler errors surface at the caller
-                value = None
-                error = f"{type(exc).__name__}: {exc}"
-                response_ok = False
-            else:
-                error = ""
-                response_ok = True
-
-            def send_response(ok: bool, response_value: Any,
-                              response_error: str) -> None:
-                response_latency = self.latency.sample(
-                    dst.region, src.region, self.rng)
-
-                def deliver_response() -> None:
-                    if not src.up:
-                        fail("caller down")
-                        return
-                    if not ok:
-                        fail(response_error)
-                        return
-                    call._complete(RpcResult(ok=True, value=response_value,
-                                             latency=self.engine.now - start))
-
-                self.engine.call_after(response_latency, deliver_response)
-
-            if response_ok and isinstance(value, AsyncReply):
-                value._on_settle(
-                    lambda reply: send_response(reply._ok, reply._value,
-                                                reply._error))
-                # A reply the server never settles must still time out at
-                # the caller (first completion wins if it does settle).
-                remaining = max(0.0, timeout - (self.engine.now - start))
-                self.engine.call_after(remaining, lambda: fail("timeout"))
-            else:
-                send_response(response_ok, value, error)
-
-        self.engine.call_after(request_latency, deliver_request)
+        op.req_latency = request_latency
+        engine.call_after(request_latency, op.deliver_request)
         return call

@@ -141,6 +141,74 @@ class TestScheduling:
         engine.run()
 
 
+class TestImmediateQueue:
+    """delay == 0.0 events take the deque fast path; these pin that the
+    fast path never reorders events relative to a heap-only engine."""
+
+    def test_zero_delay_runs_at_current_time(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(0.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.0]
+
+    def test_zero_delay_interleaves_with_heap_by_schedule_order(self):
+        engine = Engine()
+        seen = []
+
+        def at_one():
+            seen.append("heap")
+            engine.call_after(0.0, lambda: seen.append("imm1"))
+            engine.call_at(1.0, lambda: seen.append("heap2"))
+            engine.call_after(0.0, lambda: seen.append("imm2"))
+
+        engine.call_after(1.0, at_one)
+        engine.run()
+        # Same timestamp: strict schedule order regardless of queue.
+        assert seen == ["heap", "imm1", "heap2", "imm2"]
+
+    def test_zero_delay_runs_before_later_heap_event(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(1.0, lambda: seen.append("later"))
+        engine.call_after(0.0, lambda: seen.append("now"))
+        engine.run()
+        assert seen == ["now", "later"]
+
+    def test_zero_delay_handle_is_cancellable(self):
+        engine = Engine()
+        seen = []
+        handle = engine.call_after(0.0, lambda: seen.append(True))
+        handle.cancel()
+        engine.run()
+        assert seen == []
+        assert engine.pending_events == 0
+
+    def test_callback_arg_is_passed(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(1.0, seen.append, "after")
+        engine.call_at(2.0, seen.append, "at")
+        engine.call_after(0.0, seen.append, "immediate")
+        engine.run()
+        assert seen == ["immediate", "after", "at"]
+
+    def test_none_arg_is_a_real_argument(self):
+        engine = Engine()
+        seen = []
+        engine.call_after(1.0, seen.append, None)
+        engine.run()
+        assert seen == [None]
+
+    def test_total_processed_events_accumulates(self):
+        before = Engine.total_processed_events
+        engine = Engine()
+        for _ in range(4):
+            engine.call_after(1.0, lambda: None)
+        engine.run()
+        assert Engine.total_processed_events - before == 4
+
+
 class TestProcesses:
     def test_process_delays(self):
         engine = Engine()
@@ -407,8 +475,9 @@ class TestPendingEvents:
             handle.cancel()
         for handle in rng.sample(handles, 40):  # overlaps: re-cancels
             handle.cancel()
-        naive = sum(1 for ev in engine._heap if not ev.cancelled)
+        naive = sum(1 for _, _, ev in engine._heap if not ev.cancelled)
         assert engine.pending_events == naive
         engine.run(until=5.0)
-        naive = sum(1 for ev in engine._heap if not ev.cancelled and not ev.done)
+        naive = sum(1 for _, _, ev in engine._heap
+                    if not ev.cancelled and not ev.done)
         assert engine.pending_events == naive
