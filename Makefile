@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim profile
+.PHONY: test bench bench-quick bench-sim bench-request profile
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -23,6 +23,11 @@ bench-quick:
 bench-sim:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_experiments.py \
 		--output BENCH_sim.json --baseline benchmarks/baseline_sim.json
+
+# Request-path microbenchmark: requests/s through router + server on a
+# two-region topology (the number DESIGN.md's fast-path section quotes).
+bench-request:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_request_path.py
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

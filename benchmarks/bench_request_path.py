@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Request-path microbenchmark: requests/s through router + server.
+
+Builds a two-region cluster, deploys one app across both regions, and
+drives a fixed-rate open-loop workload from a client in each region —
+no rebalancing and no upgrades, so the measurement isolates the
+steady-state request path: workload tick -> router (route cache) ->
+RPC -> server dispatch -> outcome recording.
+
+Run via ``make bench-request`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_request_path.py
+    PYTHONPATH=src python benchmarks/bench_request_path.py --rate 5000
+
+Prints sim requests/s pushed, wall-clock requests/s achieved, and engine
+events/s.  This is the number the "Request-path fast path" section of
+DESIGN.md quotes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.app.client import WorkloadRecorder, get_client  # noqa: E402
+from repro.core.orchestrator import OrchestratorConfig  # noqa: E402
+from repro.core.spec import (AppSpec, ReplicationStrategy,  # noqa: E402
+                             uniform_shards)
+from repro.harness import SimCluster, deploy_app  # noqa: E402
+from repro.metrics.timeseries import format_table  # noqa: E402
+
+
+def run(rate: float = 2_000.0, duration: float = 60.0, shards: int = 200,
+        servers_per_region: int = 10, key_space: int = 1 << 16,
+        seed: int = 0) -> dict:
+    cluster = SimCluster.build(regions=("FRC", "PRN"),
+                               machines_per_region=servers_per_region + 2,
+                               seed=seed)
+    engine = cluster.engine
+    spec = AppSpec(
+        name="bench",
+        shards=uniform_shards(shards, key_space=key_space),
+        replication=ReplicationStrategy.PRIMARY_ONLY,
+    )
+    deploy_app(
+        cluster, spec,
+        {"FRC": servers_per_region, "PRN": servers_per_region},
+        orchestrator_config=OrchestratorConfig(rebalance_enabled=False),
+        settle=30.0,
+    )
+
+    recorders = []
+    per_client_rate = rate / 2.0
+    for index, region in enumerate(("FRC", "PRN")):
+        client = get_client(engine, cluster.network, cluster.discovery,
+                            spec.name, region)
+        recorder = WorkloadRecorder.with_bucket(10.0)
+        client.run_workload(
+            duration=duration,
+            rate=lambda t: per_client_rate,
+            key_fn=lambda rng: rng.randrange(key_space),
+            recorder=recorder,
+            rng=random.Random(seed * 1_000 + index),
+        )
+        recorders.append(recorder)
+
+    events_before = engine.total_processed_events
+    start = time.perf_counter()
+    cluster.run(until=engine.now + duration + 5.0)
+    wall = time.perf_counter() - start
+    events = engine.total_processed_events - events_before
+
+    sent = sum(r.sent for r in recorders)
+    succeeded = sum(r.succeeded for r in recorders)
+    failed = sum(r.failed for r in recorders)
+    return {
+        "requests_sent": sent,
+        "requests_succeeded": succeeded,
+        "requests_failed": failed,
+        "sim_duration": duration,
+        "wall_seconds": wall,
+        "requests_per_wall_sec": sent / wall,
+        "events": events,
+        "events_per_sec": events / wall,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="request-path microbenchmark (2-region topology)")
+    parser.add_argument("--rate", type=float, default=2_000.0,
+                        help="total open-loop requests/sim-second")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds of load")
+    parser.add_argument("--shards", type=int, default=200)
+    parser.add_argument("--servers-per-region", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    result = run(rate=args.rate, duration=args.duration, shards=args.shards,
+                 servers_per_region=args.servers_per_region, seed=args.seed)
+    print(format_table(
+        ("metric", "value"),
+        [("requests sent", result["requests_sent"]),
+         ("requests succeeded", result["requests_succeeded"]),
+         ("requests failed", result["requests_failed"]),
+         ("wall seconds", f"{result['wall_seconds']:.3f}"),
+         ("requests / wall second", f"{result['requests_per_wall_sec']:,.0f}"),
+         ("engine events processed", result["events"]),
+         ("events / wall second", f"{result['events_per_sec']:,.0f}")]))
+    if result["requests_failed"]:
+        print(f"warning: {result['requests_failed']} requests failed "
+              f"(expected 0 in a quiescent cluster)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Soft perf-regression gate: compare BENCH_sim.json against the baseline.
+
+Compares per-figure ``events_per_sec`` in a fresh experiment report with
+the checked-in pre-optimization baseline and warns (GitHub-annotation
+style) when a figure's throughput regressed by more than the threshold.
+
+Soft by design: CI machines are noisy and the smoke sweep runs scaled-
+down tasks, so a regression prints ``::warning::`` lines and the script
+still exits 0.  Pass ``--hard`` to turn warnings into a non-zero exit
+for local gating.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf_regression.py \
+        --report BENCH_sim.json --baseline benchmarks/baseline_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(report: dict, baseline: dict, threshold: float) -> list:
+    """[(figure, baseline events/s, new events/s, ratio), ...] regressions."""
+    regressions = []
+    base_figures = baseline.get("figures", {})
+    for figure, stats in sorted(report.get("figures", {}).items()):
+        base = base_figures.get(figure)
+        if not base:
+            continue
+        old = base.get("events_per_sec")
+        new = stats.get("events_per_sec")
+        if not old or not new:
+            continue
+        if new < old * (1.0 - threshold):
+            regressions.append((figure, old, new, new / old))
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="warn when events/s regressed vs the baseline")
+    parser.add_argument("--report", default="BENCH_sim.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline_sim.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="warn when events/s drops by more than this "
+                             "fraction (default 0.15)")
+    parser.add_argument("--hard", action="store_true",
+                        help="exit non-zero on regression instead of warning")
+    args = parser.parse_args()
+
+    report = json.loads(Path(args.report).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    regressions = compare(report, baseline, args.threshold)
+
+    checked = sorted(set(report.get("figures", {}))
+                     & set(baseline.get("figures", {})))
+    if not checked:
+        print("perf gate: no overlapping figures to compare", file=sys.stderr)
+        return 0
+    for figure, old, new, ratio in regressions:
+        print(f"::warning title=perf regression::{figure}: "
+              f"{new:,.0f} events/s vs baseline {old:,.0f} "
+              f"({ratio:.2f}x, threshold {1.0 - args.threshold:.2f}x)")
+    if not regressions:
+        print(f"perf gate: {len(checked)} figure(s) within "
+              f"{args.threshold:.0%} of baseline events/s "
+              f"({', '.join(checked)})")
+        return 0
+    return 1 if args.hard else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,19 +4,40 @@ A client owns a network endpoint, a :class:`~repro.discovery.ServiceRouter`
 fed by service discovery, and helpers to run open-loop request streams
 whose outcomes land in a :class:`~repro.metrics.RateWindow` (success rate
 per bucket — the Fig 17 y-axis) and a latency series (the Fig 19 y-axis).
+
+The workload driver is the hottest loop in the request-heavy figures
+(17/18/19), so it is a slotted state machine (:class:`_WorkloadOp`)
+scheduled through zero-closure ``call_after`` callbacks: one arrival tick
+fires one :class:`~repro.discovery.router._RequestOp` and schedules the
+next Poisson arrival, with no generator frames or per-request processes.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Dict, Optional
+from weakref import WeakKeyDictionary
 
 from ..discovery.router import RequestOutcome, ServiceRouter
 from ..discovery.service_discovery import ServiceDiscovery
 from ..metrics.timeseries import RateWindow, TimeSeries
-from ..sim.engine import Delay, Engine, Process
+from ..sim.engine import Engine, Process
 from ..sim.network import Network
+
+#: Floor applied to every rate-curve sample (requests/second).
+_MIN_RATE = 1e-9
+
+
+def clamped_rate(value: float) -> float:
+    """Clamp a rate-curve sample so open-loop scheduling cannot stall.
+
+    A zero rate would divide-by-zero the exponential sampler and a
+    negative one would produce a negative inter-arrival delay (which the
+    engine rejects); both are clamped to a tiny positive rate, i.e. "the
+    next arrival is effectively never".
+    """
+    return max(_MIN_RATE, value)
 
 
 @dataclass
@@ -40,6 +61,69 @@ class WorkloadRecorder:
             self.latency.record(now, outcome.latency)
         else:
             self.failed += 1
+
+
+class _WorkloadOp:
+    """Open-loop Poisson arrival loop as a slotted state machine.
+
+    Each ``_tick`` (a zero-closure scheduled callback) fires one request
+    through the router's retry state machine and schedules the next
+    arrival from the (clamped) rate curve.  The RNG draw order — key
+    sample, request-latency sample inside ``network.rpc``, inter-arrival
+    sample — is exactly the old generator's, so seeded traces are
+    bit-identical.
+    """
+
+    __slots__ = ("engine", "router", "recorder", "rng", "rate", "key_fn",
+                 "payload", "payload_fn", "prefer_primary", "end_time",
+                 "expovariate", "finished")
+
+    def __init__(self, engine: Engine, router: ServiceRouter,
+                 duration: float, rate: Callable[[float], float],
+                 key_fn: Callable[[random.Random], int],
+                 recorder: WorkloadRecorder, rng: random.Random,
+                 payload: Any, payload_fn: Optional[Callable[[int], Any]],
+                 prefer_primary: bool) -> None:
+        self.engine = engine
+        self.router = router
+        self.recorder = recorder
+        self.rng = rng
+        self.rate = rate
+        self.key_fn = key_fn
+        self.payload = payload
+        self.payload_fn = payload_fn
+        self.prefer_primary = prefer_primary
+        self.end_time = engine.now + duration
+        self.expovariate = rng.expovariate  # cached inter-arrival sampler
+        self.finished = False
+        if engine.now < self.end_time:
+            self._schedule_next()
+        else:
+            self.finished = True
+
+    def _schedule_next(self) -> None:
+        engine = self.engine
+        self.engine.call_after(
+            self.expovariate(clamped_rate(self.rate(engine.now))),
+            self._tick)
+
+    def _tick(self) -> None:
+        engine = self.engine
+        if engine.now >= self.end_time:
+            self.finished = True
+            return
+        recorder = self.recorder
+        recorder.sent += 1
+        key = self.key_fn(self.rng)
+        payload_fn = self.payload_fn
+        body = payload_fn(key) if payload_fn is not None else self.payload
+        self.router.start_request(key, body,
+                                  prefer_primary=self.prefer_primary,
+                                  on_done=self._record)
+        self._schedule_next()
+
+    def _record(self, outcome: RequestOutcome) -> None:
+        self.recorder.record(self.engine.now, outcome)
 
 
 class ApplicationClient:
@@ -83,40 +167,50 @@ class ApplicationClient:
                      rng: Optional[random.Random] = None,
                      payload: Any = None,
                      payload_fn: Optional[Callable[[int], Any]] = None,
-                     prefer_primary: bool = True) -> Process:
+                     prefer_primary: bool = True) -> _WorkloadOp:
         """Open-loop Poisson request stream for ``duration`` seconds.
 
         ``rate(t)`` gives the instantaneous requests/second (pass a
         constant via ``lambda t: r``; diurnal curves for Fig 18/23 come
         from ``repro.workloads.load``).  ``payload_fn(key)`` builds a
         per-request payload; it wins over the static ``payload``.
+        Returns the running :class:`_WorkloadOp` (``finished`` flips once
+        the stream passes ``duration``).
         """
         rng = rng or random.Random(0)
-        end_time = self.engine.now + duration
+        return _WorkloadOp(self.engine, self.router, duration, rate, key_fn,
+                           recorder, rng, payload, payload_fn, prefer_primary)
 
-        def request_process(key: int) -> Generator[Any, Any, None]:
-            body = payload_fn(key) if payload_fn is not None else payload
-            outcome = yield from self.router.request(
-                key, body, prefer_primary=prefer_primary)
-            recorder.record(self.engine.now, outcome)
 
-        def generator() -> Generator[Any, Any, None]:
-            while self.engine.now < end_time:
-                current_rate = max(1e-9, rate(self.engine.now))
-                yield Delay(rng.expovariate(current_rate))
-                if self.engine.now >= end_time:
-                    break
-                recorder.sent += 1
-                self.engine.process(request_process(key_fn(rng)))
+#: network -> {app_name -> next client index}: a monotonic per-app counter
+#: for default client addresses.  Keyed weakly per network so independent
+#: simulations never share numbering.
+_CLIENT_SEQUENCES: "WeakKeyDictionary[Network, Dict[str, int]]" = (
+    WeakKeyDictionary())
 
-        return self.engine.process(generator(), name=f"workload:{self.address}")
+
+def _next_client_index(network: Network, app_name: str) -> int:
+    sequences = _CLIENT_SEQUENCES.get(network)
+    if sequences is None:
+        sequences = {}
+        _CLIENT_SEQUENCES[network] = sequences
+    index = sequences.get(app_name, 0)
+    sequences[app_name] = index + 1
+    return index
 
 
 def get_client(engine: Engine, network: Network, discovery: ServiceDiscovery,
                app_name: str, region: str, address: Optional[str] = None,
                **router_options: Any) -> ApplicationClient:
-    """The paper's client entry point, bound to our simulated substrate."""
+    """The paper's client entry point, bound to our simulated substrate.
+
+    Default addresses come from a monotonic per-app counter, not from
+    ``network.rpcs_sent``: the old scheme collided when two clients were
+    created with no traffic in between, and silently depended on how much
+    load had already run.
+    """
     if address is None:
-        address = f"client/{app_name}/{region}/{network.rpcs_sent}"
+        index = _next_client_index(network, app_name)
+        address = f"client/{app_name}/{region}/{index}"
     return ApplicationClient(engine, network, discovery, app_name,
                              address, region, **router_options)

@@ -34,9 +34,15 @@ class HostedState(str, Enum):
     FORWARDING = "forwarding"  # §4.3 step 2: everything goes to new owner
 
 
-@dataclass
+@dataclass(slots=True)
 class HostedShard:
-    """One shard replica currently hosted by this server."""
+    """One shard replica currently hosted by this server.
+
+    Slotted: the per-request served counter is bumped on every client
+    request, so the instance must not carry a ``__dict__``.  The counter
+    is batch accounting — it only accumulates here and is flushed (and
+    normalised to a rate) by ``sm.report_load``.
+    """
 
     shard_id: str
     role: Role
@@ -223,11 +229,17 @@ class ApplicationServer:
     # -- client requests -----------------------------------------------------------------
 
     def _handle_app_request(self, message: Dict[str, Any]) -> Any:
+        # Hot path first: one dict probe into the shard table, one state
+        # check, one slotted counter bump, then straight into the handler.
         shard_id = message["shard_id"]
         hosted = self._shards.get(shard_id)
         if hosted is None:
             raise NotOwnerError(f"{self.address} does not own {shard_id}")
-        if hosted.state is HostedState.PREPARING:
+        state = hosted.state
+        if state is HostedState.ACTIVE:
+            hosted.requests_served += 1
+            return self.handler(shard_id, message["payload"])
+        if state is HostedState.PREPARING:
             if not message.get("forwarded"):
                 # §4.3 step 1: "Pnew processes a primary-related request
                 # only if the request is forwarded from Pold."
@@ -235,10 +247,7 @@ class ApplicationServer:
                     f"{self.address} is preparing {shard_id}, not yet owner")
             hosted.requests_served += 1
             return self.handler(shard_id, message["payload"])
-        if hosted.state is HostedState.FORWARDING:
-            return self._forward(hosted, message)
-        hosted.requests_served += 1
-        return self.handler(shard_id, message["payload"])
+        return self._forward(hosted, message)
 
     def _forward(self, hosted: HostedShard, message: Dict[str, Any]) -> AsyncReply:
         """§4.3 step 2: relay the request to the new owner, then relay the

@@ -141,10 +141,24 @@ class AppSpec:
             raise ValueError("global concurrent-op cap must be >= 1")
 
     def shard(self, shard_id: str) -> ShardSpec:
-        for shard in self.shards:
-            if shard.shard_id == shard_id:
-                return shard
-        raise KeyError(f"app {self.name}: unknown shard {shard_id!r}")
+        """O(1) shard lookup by id.
+
+        Application handlers call this once per client request (e.g. the
+        queue service's ownership check), so a linear scan over thousands
+        of shards dominated the server hot path.  The index is built
+        lazily and keyed to the identity of ``shards``, so replacing the
+        list invalidates it.
+        """
+        cached = self.__dict__.get("_shard_index")
+        if cached is None or cached[0] is not self.shards:
+            cached = (self.shards,
+                      {shard.shard_id: shard for shard in self.shards})
+            self.__dict__["_shard_index"] = cached
+        try:
+            return cached[1][shard_id]
+        except KeyError:
+            raise KeyError(
+                f"app {self.name}: unknown shard {shard_id!r}") from None
 
     def shard_for_key(self, key: int) -> ShardSpec:
         """App-key lookup: which shard owns ``key``.

@@ -9,16 +9,24 @@ map (app-key approach — ranges, not hashes, so prefix scans stay
 possible), picks the primary for primary-routed requests or the
 nearest replica by region for secondary-reads, and retries on
 failure/misroute with the freshest map available.
+
+Requests run through a slotted :class:`_RequestOp` state machine
+(mirroring the network's ``_RpcOp``): retries, backoff, misroute
+exclusion and outcome recording are precomputed bound-method callbacks,
+so the steady-state request path allocates no closures, generator frames
+or per-request processes.  The generator :meth:`ServiceRouter.request`
+remains as a thin shim over the state machine for callers that join
+requests from simulation processes.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..core.shard_map import ShardMap, ShardMapEntry
-from ..sim.engine import Delay, Engine, Wait
+from ..sim.engine import Engine, Signal, Wait
 from ..sim.network import Network, RpcResult
 
 
@@ -64,6 +72,13 @@ class ServiceRouter:
         # the network; endpoint regions are immutable while registered.
         self._region_cache: dict = {}
         self._region_epoch = -1
+        # key -> (address, shard_id) for exclude-free routing, one dict per
+        # prefer_primary flag.  Valid for one (map version, registration
+        # epoch) pair: cleared on every map delivery, and lazily on any
+        # endpoint change (replica distance — and therefore selection —
+        # depends on which endpoints are registered).
+        self._route_caches: Tuple[dict, dict] = ({}, {})
+        self._route_epoch = -1
 
     # -- map handling -----------------------------------------------------------
 
@@ -74,6 +89,8 @@ class ServiceRouter:
         # The sorted interval index is cached on the map itself and shared
         # by every router that receives this publish.
         self._lows, self._entries = shard_map.routing_index()
+        self._route_caches[0].clear()
+        self._route_caches[1].clear()
         self.map_updates += 1
 
     @property
@@ -136,7 +153,44 @@ class ServiceRouter:
         best = min(candidates, key=distance)
         return best, entry.shard_id
 
-    # -- the request process -------------------------------------------------------
+    def route_for(self, key: int,
+                  prefer_primary: bool = True) -> Tuple[str, str]:
+        """Cached exclude-free :meth:`pick_address`.
+
+        Steady-state requests (no replica excluded yet) resolve through
+        one dict lookup instead of the bisect plus replica-selection walk;
+        the cache is scoped to the current (map version, registration
+        epoch) pair, which is exactly the state ``pick_address`` reads.
+        Routing failures are never cached.
+        """
+        network = self.network
+        if network.registration_epoch != self._route_epoch:
+            self._route_epoch = network.registration_epoch
+            self._route_caches[0].clear()
+            self._route_caches[1].clear()
+        cache = self._route_caches[1 if prefer_primary else 0]
+        route = cache.get(key)
+        if route is None:
+            route = self.pick_address(key, prefer_primary=prefer_primary)
+            cache[key] = route
+        return route
+
+    # -- the request state machine -------------------------------------------------
+
+    def start_request(self, key: int, payload: Any,
+                      method: str = "app.request",
+                      prefer_primary: bool = True,
+                      on_done: Optional[Callable[[RequestOutcome], None]] = None,
+                      ) -> "_RequestOp":
+        """Fire one logical request through the retry state machine.
+
+        ``on_done(outcome)`` runs at completion (success, or after
+        ``attempts`` tries all failed).  This is the allocation-lean entry
+        point used by workload drivers; :meth:`request` is the generator
+        shim over the same machinery.
+        """
+        return _RequestOp(self, key, payload, method, prefer_primary,
+                          on_done)
 
     def request(self, key: int, payload: Any, method: str = "app.request",
                 prefer_primary: bool = True) -> Generator[Any, Any, RequestOutcome]:
@@ -145,38 +199,112 @@ class ServiceRouter:
         Run it with ``engine.process(router.request(...))`` or yield it
         from another process.  A request fails only after ``attempts``
         tries have all failed — matching how production clients hide
-        transient misroutes behind retries.
+        transient misroutes behind retries.  (Thin shim over
+        :meth:`start_request`; the retry semantics live in
+        :class:`_RequestOp`.)
         """
-        start = self.engine.now
-        tried: Tuple[str, ...] = ()
-        last_error = ""
-        shard_id = ""
+        op = _RequestOp(self, key, payload, method, prefer_primary, None)
+        if op.outcome is None:
+            op.done = Signal(self.engine)
+            yield Wait(op.done)
+        return op.outcome
+
+
+class _RequestOp:
+    """Retry state machine for one logical client request.
+
+    Bound methods of this object are the scheduled callbacks (backoff
+    wakeups, RPC completions), so a request costs one slotted object and
+    one message dict — no generator frames, closures, processes or
+    per-request signals on the happy path.  The retry semantics are
+    exactly those of the old generator loop: pick a replica (excluding
+    ones already tried), RPC it, back off ``retry_backoff`` between
+    attempts, and fail only after ``attempts`` tries — with a routing
+    error on the final attempt still paying the backoff before the
+    failure surfaces, as the generator did.
+    """
+
+    __slots__ = ("router", "engine", "message", "method", "prefer_primary",
+                 "on_done", "start", "attempt", "tried", "last_error",
+                 "address", "shard_id", "outcome", "done")
+
+    def __init__(self, router: ServiceRouter, key: int, payload: Any,
+                 method: str, prefer_primary: bool,
+                 on_done: Optional[Callable[[RequestOutcome], None]]) -> None:
+        self.router = router
+        self.engine = router.engine
+        self.method = method
+        self.prefer_primary = prefer_primary
+        self.on_done = on_done
+        self.start = router.engine.now
+        self.attempt = 1
+        self.tried: Tuple[str, ...] = ()
+        self.last_error = ""
+        self.address = ""
+        self.shard_id = ""
+        self.outcome: Optional[RequestOutcome] = None
+        self.done: Optional[Signal] = None  # lazily set by the shim
         # One message dict per logical request, updated across retries.
         # Safe to reuse: a retry only starts after the previous attempt
         # settled, and servers copy the dict before async forwarding.
-        message = {"key": key, "shard_id": "", "payload": payload,
-                   "forwarded": False}
-        for attempt in range(1, self.attempts + 1):
-            try:
-                address, shard_id = self.pick_address(
-                    key, prefer_primary=prefer_primary, exclude=tried)
-            except RoutingError as exc:
-                last_error = str(exc)
-                yield Delay(self.retry_backoff)
-                continue
-            message["shard_id"] = shard_id
-            call = self.network.rpc(
-                self.client_address, address, method, message,
-                timeout=self.rpc_timeout)
-            result: RpcResult = yield Wait(call.done)
-            if result.ok:
-                return RequestOutcome(ok=True, value=result.value,
-                                      latency=self.engine.now - start,
-                                      attempts=attempt, shard_id=shard_id)
-            last_error = result.error
-            tried = tried + (address,)
-            if attempt < self.attempts:
-                yield Delay(self.retry_backoff)
-        return RequestOutcome(ok=False, error=last_error,
-                              latency=self.engine.now - start,
-                              attempts=self.attempts, shard_id=shard_id)
+        self.message = {"key": key, "shard_id": "", "payload": payload,
+                        "forwarded": False}
+        self._attempt_once()
+
+    def _attempt_once(self) -> None:
+        router = self.router
+        try:
+            if self.tried:
+                address, shard_id = router.pick_address(
+                    self.message["key"], prefer_primary=self.prefer_primary,
+                    exclude=self.tried)
+            else:
+                address, shard_id = router.route_for(
+                    self.message["key"], self.prefer_primary)
+        except RoutingError as exc:
+            self.last_error = str(exc)
+            self.engine.call_after(router.retry_backoff, self._backoff_done)
+            return
+        self.address = address
+        self.shard_id = shard_id
+        message = self.message
+        message["shard_id"] = shard_id
+        call = router.network.rpc(router.client_address, address,
+                                  self.method, message,
+                                  timeout=router.rpc_timeout)
+        call.done._add_waiter(self._rpc_done)
+
+    def _rpc_done(self, result: RpcResult) -> None:
+        if result.ok:
+            self._finish(RequestOutcome(
+                ok=True, value=result.value,
+                latency=self.engine.now - self.start,
+                attempts=self.attempt, shard_id=self.shard_id))
+            return
+        self.last_error = result.error
+        self.tried = self.tried + (self.address,)
+        if self.attempt < self.router.attempts:
+            self.engine.call_after(self.router.retry_backoff,
+                                   self._backoff_done)
+        else:
+            self._fail()
+
+    def _backoff_done(self) -> None:
+        if self.attempt >= self.router.attempts:
+            self._fail()  # routing error on the final attempt
+            return
+        self.attempt += 1
+        self._attempt_once()
+
+    def _fail(self) -> None:
+        self._finish(RequestOutcome(
+            ok=False, error=self.last_error,
+            latency=self.engine.now - self.start,
+            attempts=self.router.attempts, shard_id=self.shard_id))
+
+    def _finish(self, outcome: RequestOutcome) -> None:
+        self.outcome = outcome
+        if self.on_done is not None:
+            self.on_done(outcome)
+        if self.done is not None:
+            self.done.fire(outcome)

@@ -4,31 +4,48 @@ The figures in the paper are all time series (success rate, latency,
 violations, shard moves, CPU utilization).  :class:`TimeSeries` records
 raw (t, value) points; :class:`RateWindow` buckets counts into fixed-width
 windows so we can plot e.g. "request success rate per 10 s bucket".
+
+Storage is compact: :class:`TimeSeries` keeps its samples in two
+``array('d')`` buffers (8 bytes per sample instead of a boxed float plus
+a list slot — the fig17-scale latency series holds hundreds of thousands
+of points), and :class:`RateWindow` accumulates the current bucket in
+plain slots, touching its dicts only when the bucket rolls over.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
+def _float_array() -> array:
+    return array("d")
+
+
 @dataclass
 class TimeSeries:
-    """Append-only (time, value) samples with summary helpers."""
+    """Append-only (time, value) samples with summary helpers.
+
+    ``times`` and ``values`` are ``array('d')`` buffers; they index,
+    slice, and iterate like lists of floats (compare with ``list(...)``
+    when a test needs list equality).
+    """
 
     name: str = ""
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    times: array = field(default_factory=_float_array)
+    values: array = field(default_factory=_float_array)
 
     def record(self, time: float, value: float) -> None:
-        if self.times and time < self.times[-1]:
+        times = self.times
+        if times and time < times[-1]:
             raise ValueError(
                 f"{self.name or 'series'}: time went backwards "
-                f"({time} < {self.times[-1]})"
+                f"({time} < {times[-1]})"
             )
-        self.times.append(time)
+        times.append(time)
         self.values.append(value)
 
     def __len__(self) -> int:
@@ -90,26 +107,56 @@ class RateWindow:
     read back per-bucket success ratios.
     """
 
+    __slots__ = ("width", "_ok", "_failed", "_bucket_index", "_bucket_ok",
+                 "_bucket_failed")
+
     def __init__(self, width: float) -> None:
         if width <= 0:
             raise ValueError(f"width must be positive, got {width!r}")
         self.width = width
         self._ok: Dict[int, int] = {}
         self._failed: Dict[int, int] = {}
+        # Open-loop workloads record into one bucket for thousands of
+        # consecutive events; accumulate the current bucket in plain
+        # slots and touch the dicts only on rollover (or reads).
+        self._bucket_index: Optional[int] = None
+        self._bucket_ok = 0
+        self._bucket_failed = 0
 
     def _bucket(self, time: float) -> int:
         return int(time // self.width)
 
     def record(self, time: float, ok: bool, count: int = 1) -> None:
-        bucket = self._bucket(time)
-        table = self._ok if ok else self._failed
-        table[bucket] = table.get(bucket, 0) + count
+        bucket = int(time // self.width)
+        if bucket != self._bucket_index:
+            self._flush()
+            self._bucket_index = bucket
+        if ok:
+            self._bucket_ok += count
+        else:
+            self._bucket_failed += count
+
+    def _flush(self) -> None:
+        """Fold the in-flight bucket into the dicts (idempotent)."""
+        index = self._bucket_index
+        if index is None:
+            return
+        if self._bucket_ok:
+            self._ok[index] = self._ok.get(index, 0) + self._bucket_ok
+            self._bucket_ok = 0
+        if self._bucket_failed:
+            self._failed[index] = (self._failed.get(index, 0)
+                                   + self._bucket_failed)
+            self._bucket_failed = 0
+        self._bucket_index = None
 
     def buckets(self) -> List[int]:
+        self._flush()
         keys = set(self._ok) | set(self._failed)
         return sorted(keys)
 
     def success_rate(self, bucket: int) -> float:
+        self._flush()
         ok = self._ok.get(bucket, 0)
         failed = self._failed.get(bucket, 0)
         total = ok + failed
@@ -118,6 +165,7 @@ class RateWindow:
         return ok / total
 
     def totals(self, bucket: int) -> Tuple[int, int]:
+        self._flush()
         return self._ok.get(bucket, 0), self._failed.get(bucket, 0)
 
     def series(self) -> TimeSeries:
@@ -128,6 +176,7 @@ class RateWindow:
         return out
 
     def overall_success_rate(self) -> float:
+        self._flush()
         ok = sum(self._ok.values())
         failed = sum(self._failed.values())
         if ok + failed == 0:

@@ -60,7 +60,7 @@ class TestTimeSeries:
         for t in range(5):
             series.record(float(t), float(t))
         window = series.between(1.0, 3.0)
-        assert window.times == [1.0, 2.0, 3.0]
+        assert list(window.times) == [1.0, 2.0, 3.0]
 
     def test_aggregates(self):
         series = TimeSeries()
@@ -126,8 +126,8 @@ class TestRateWindow:
         window = RateWindow(10.0)
         window.record(5.0, True)
         series = window.series()
-        assert series.times == [5.0]
-        assert series.values == [1.0]
+        assert list(series.times) == [5.0]
+        assert list(series.values) == [1.0]
 
     def test_invalid_width(self):
         with pytest.raises(ValueError):
