@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim bench-request profile
+.PHONY: test bench bench-quick bench-sim bench-request profile trace-fig17
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -31,3 +31,11 @@ bench-request:
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2
+
+# Traced Fig 17 (SM arm, smoke scale): writes a Perfetto-loadable
+# Chrome trace + raw JSONL journal and hard-fails on any TraceChecker
+# invariant violation.  Open trace_fig17.json at https://ui.perfetto.dev
+trace-fig17:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_experiments.py --smoke \
+		--trace-figure fig17:sm --trace trace_fig17.json \
+		--journal trace_fig17.jsonl --check-trace

@@ -8,9 +8,11 @@ in ``bench_results.txt``.  ``test_engine_hotloop_quick`` and
 """
 
 import random
+import time
 
 from conftest import emit, run_once
 
+from repro.obs.tracer import Journal, Tracer
 from repro.sim.engine import Delay, Engine, Signal, Wait
 from repro.sim.network import Network
 
@@ -53,6 +55,27 @@ def _rpc_roundtrips(count: int) -> tuple[Network, int]:
     engine.process(driver())
     engine.run()
     return network, count
+
+
+def _rpc_roundtrips_traced(count: int) -> tuple[Network, Tracer]:
+    """The RPC benchmark with per-RPC spans and engine sampling enabled."""
+    engine = Engine()
+    tracer = Tracer(Journal(capacity=1 << 18))
+    engine.set_tracer(tracer, sample_every=64)
+    network = Network(engine, rng=random.Random(3), tracer=tracer)
+    server = network.register("server", "FRC")
+    server.on("echo", lambda payload: payload)
+    network.register("client", "FRC")
+
+    def driver():
+        for index in range(count):
+            call = network.rpc("client", "server", "echo", index,
+                               timeout=5.0)
+            result = yield Wait(call.done)
+            assert result.ok
+    engine.process(driver())
+    engine.run()
+    return network, tracer
 
 
 def _report(title, processed, elapsed):
@@ -108,3 +131,38 @@ def test_rpc_roundtrips_quick(benchmark):
     emit(_report("Network RPC fast path (quick) — 5K round trips",
                  count, elapsed))
     assert network.rpcs_failed == 0
+
+
+def test_tracing_overhead_quick(benchmark):
+    """Side-by-side cost of tracing on the RPC fast path.
+
+    The ``benchmark`` fixture times the *disabled* path (the one the
+    soft CI gate compares against ``baseline_noobs.json``); the enabled
+    path is timed inline for the comparison report.  Enabled tracing
+    journals two records per RPC plus sampled engine instants, so it is
+    expected to cost real time — the product requirement is only that
+    the DISABLED path stays within noise of a build without the
+    subsystem.
+    """
+    target = 5_000
+    network, count = run_once(benchmark, _rpc_roundtrips, target)
+    disabled = benchmark.stats.stats.total
+    start = time.perf_counter()
+    traced_network, tracer = _rpc_roundtrips_traced(target)
+    enabled = time.perf_counter() - start
+    journal = tracer.journal
+    emit("\n".join([
+        "Tracing overhead — 5K RPC round trips",
+        f"  disabled  : {disabled:.3f}s "
+        f"({count / disabled:,.0f} rpc/s)",
+        f"  enabled   : {enabled:.3f}s "
+        f"({count / enabled:,.0f} rpc/s)",
+        f"  ratio     : {enabled / disabled:.2f}x",
+        f"  journaled : {journal.appended:,} records",
+    ]))
+    assert network.rpcs_failed == 0
+    assert traced_network.rpcs_failed == 0
+    # Every RPC opened and closed exactly one span.
+    spans = sum(1 for r in journal.records() if r.kind == "B")
+    assert spans == target
+    assert journal.appended > 2 * target

@@ -51,6 +51,13 @@ def main() -> int:
                              "fraction (default 0.15)")
     parser.add_argument("--hard", action="store_true",
                         help="exit non-zero on regression instead of warning")
+    parser.add_argument("--obs-baseline", default=None,
+                        help="frozen no-observability baseline: also gate "
+                             "the report against it at --obs-threshold "
+                             "(disabled-tracing overhead check)")
+    parser.add_argument("--obs-threshold", type=float, default=0.02,
+                        help="allowed events/s drop vs --obs-baseline "
+                             "(default 0.02 = 2%%)")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -70,8 +77,26 @@ def main() -> int:
         print(f"perf gate: {len(checked)} figure(s) within "
               f"{args.threshold:.0%} of baseline events/s "
               f"({', '.join(checked)})")
-        return 0
-    return 1 if args.hard else 0
+
+    obs_regressions = []
+    if args.obs_baseline:
+        obs_baseline = json.loads(Path(args.obs_baseline).read_text())
+        obs_regressions = compare(report, obs_baseline, args.obs_threshold)
+        for figure, old, new, ratio in obs_regressions:
+            print(f"::warning title=tracing overhead::{figure}: "
+                  f"{new:,.0f} events/s vs no-obs baseline {old:,.0f} "
+                  f"({ratio:.2f}x, threshold "
+                  f"{1.0 - args.obs_threshold:.2f}x)")
+        if not obs_regressions:
+            obs_checked = sorted(set(report.get("figures", {}))
+                                 & set(obs_baseline.get("figures", {})))
+            print(f"tracing-overhead gate: {len(obs_checked)} figure(s) "
+                  f"within {args.obs_threshold:.0%} of the no-obs "
+                  f"baseline")
+
+    if regressions or obs_regressions:
+        return 1 if args.hard else 0
+    return 0
 
 
 if __name__ == "__main__":

@@ -14,6 +14,9 @@ Examples::
     PYTHONPATH=src python scripts/run_experiments.py \
         --figures fig17 fig19 --processes 4 --output BENCH_sim.json \
         --baseline benchmarks/baseline_sim.json
+    PYTHONPATH=src python scripts/run_experiments.py --smoke \
+        --trace-figure fig17:sm --trace trace_fig17.json \
+        --journal trace_fig17.jsonl --check-trace
 """
 
 from __future__ import annotations
@@ -43,9 +46,36 @@ def main() -> int:
                         help="write the JSON report to this path")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to embed and compare against")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="run ONE figure traced and write a Chrome/"
+                             "Perfetto trace JSON to this path")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="also write the raw journal as JSONL "
+                             "(requires --trace)")
+    parser.add_argument("--trace-figure", default="fig17",
+                        metavar="FIG[:ARM]",
+                        help="which task to trace, e.g. fig17 or fig17:sm "
+                             "(default: fig17)")
+    parser.add_argument("--check-trace", action="store_true",
+                        help="fail (exit 1) if the TraceChecker finds any "
+                             "invariant violation in the trace")
     args = parser.parse_args()
 
     tasks = runner.SMOKE_TASKS if args.smoke else runner.DEFAULT_TASKS
+
+    if args.trace:
+        task = runner.select_task(tasks, args.trace_figure)
+        result = runner.run_traced(task, args.trace,
+                                   journal_path=args.journal)
+        print(json.dumps(result, indent=1, sort_keys=True))
+        violations = result["trace"]["violations"]
+        for violation in violations:
+            print(f"::error title=trace invariant::"
+                  f"{violation['invariant']}: {violation['message']}")
+        if args.check_trace and violations:
+            return 1
+        return 0
+
     if args.figures:
         known = {task["figure"] for task in tasks}
         unknown = set(args.figures) - known

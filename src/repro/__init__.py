@@ -22,6 +22,7 @@ __all__ = [
     "experiments",
     "harness",
     "metrics",
+    "obs",
     "replication",
     "sim",
     "solver",

@@ -64,6 +64,29 @@ class MigrationExecutor:
         self.rpc_timeout = rpc_timeout
         self.stats = MigrationStats()
         self._move_report = move_report
+        self._tracer = network.tracer
+
+    # -- tracing helpers (no-ops when the tracer is disabled) -------------------
+
+    def _trace_begin(self, kind: str, shard_id: str, src: str,
+                     dst: str) -> int:
+        """Open a migration span; returns 0 (skip tracing) when disabled,
+        so call sites guard phase/end emission with ``if span:``."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return 0
+        return tracer.begin("migration", kind, self.engine.now,
+                            {"shard": shard_id, "from": src, "to": dst})
+
+    def _trace_phase(self, span: int, phase: str) -> None:
+        if span:
+            self._tracer.instant("migration", "phase", self.engine.now,
+                                 {"span": span, "phase": phase})
+
+    def _trace_end(self, span: int, kind: str, outcome: str) -> None:
+        if span:
+            self._tracer.end(span, self.engine.now, {"outcome": outcome},
+                             track="migration", name=kind)
 
     def _rpc(self, address: str, method: str, payload: Any):
         return self.network.rpc(self.self_address, address, method, payload,
@@ -149,6 +172,8 @@ class MigrationExecutor:
         if self._hosts_sibling(shard_id, target_address, old.replica_id):
             self.stats.failures += 1
             return False
+        span = self._trace_begin("graceful", shard_id, old.address,
+                                 target_address)
         # Step 1: prepare the new primary.  It is tracked as a PREPARING
         # secondary until the official handover (the table allows only one
         # primary at a time).
@@ -158,9 +183,11 @@ class MigrationExecutor:
         result: RpcResult = yield Wait(call.done)
         if not result.ok:
             self.stats.failures += 1
+            self._trace_end(span, "graceful", "abort_prepare")
             return False
         new = self.table.add(shard_id, target_address, Role.SECONDARY,
                              state=ReplicaState.PREPARING)
+        self._trace_phase(span, "prepare")
 
         # Step 2: the old primary starts forwarding.
         call = self._rpc(old.address, "sm.prepare_drop_shard",
@@ -171,7 +198,9 @@ class MigrationExecutor:
             # The old primary may have just died; abort and let failure
             # handling recreate the shard.  Remove the prepared target.
             yield from self._abort_prepared(new)
+            self._trace_end(span, "graceful", "abort_forward")
             return False
+        self._trace_phase(span, "forward")
 
         # Step 3: official handover.
         call = self._rpc(target_address, "sm.add_shard",
@@ -182,23 +211,28 @@ class MigrationExecutor:
             yield from self._reinstate(old)
             self.table.drop(new.replica_id)
             self.stats.failures += 1
+            self._trace_end(span, "graceful", "abort_handoff")
             return False
         self.table.set_role(old.replica_id, Role.SECONDARY)
         self.table.set_state(old.replica_id, ReplicaState.DRAINING)
         self.table.set_role(new.replica_id, Role.PRIMARY)
         self.table.set_state(new.replica_id, ReplicaState.READY)
+        self._trace_phase(span, "handoff")
 
         # Step 4: disseminate the new map; clients start hitting the new
         # primary, stale ones are served by forwarding.
         self.publish()
+        self._trace_phase(span, "publish")
 
         # Step 5: drop the old replica; the server keeps forwarding through
         # its grace period for stale in-flight traffic.
         call = self._rpc(old.address, "sm.drop_shard", {"shard_id": shard_id})
         yield Wait(call.done)
         self.table.drop(old.replica_id)
+        self._trace_phase(span, "drop_old")
         self.stats.graceful_migrations += 1
         self._record_moves()
+        self._trace_end(span, "graceful", "ok")
         return True
 
     def _abort_prepared(self, prepared: ReplicaAssignment
@@ -229,6 +263,8 @@ class MigrationExecutor:
         if self._hosts_sibling(shard_id, target_address, old.replica_id):
             self.stats.failures += 1
             return False
+        span = self._trace_begin("abrupt", shard_id, old.address,
+                                 target_address)
         # Reserve the target in the table first so concurrent emergency
         # placement doesn't race us into creating a second primary.
         new = self.table.add(shard_id, target_address, Role.SECONDARY,
@@ -237,19 +273,23 @@ class MigrationExecutor:
         yield Wait(call.done)
         self.table.drop(old.replica_id)
         self.publish()
+        self._trace_phase(span, "drop_old")
         call = self._rpc(target_address, "sm.add_shard",
                          {"shard_id": shard_id, "role": Role.PRIMARY.value})
         result: RpcResult = yield Wait(call.done)
         if not result.ok:
             self.table.drop(new.replica_id)
             self.stats.failures += 1
+            self._trace_end(span, "abrupt", "abort_handoff")
             return False
         if self.table.primary_of(shard_id) is None:
             self.table.set_role(new.replica_id, Role.PRIMARY)
         self.table.set_state(new.replica_id, ReplicaState.READY)
         self.publish()
+        self._trace_phase(span, "handoff")
         self.stats.abrupt_migrations += 1
         self._record_moves()
+        self._trace_end(span, "abrupt", "ok")
         return True
 
     def move_secondary(self, replica: ReplicaAssignment,
@@ -260,20 +300,26 @@ class MigrationExecutor:
         if self._hosts_sibling(shard_id, target_address, replica.replica_id):
             self.stats.failures += 1
             return False
+        span = self._trace_begin("secondary", shard_id, replica.address,
+                                 target_address)
         call = self._rpc(target_address, "sm.add_shard",
                          {"shard_id": shard_id, "role": Role.SECONDARY.value})
         result: RpcResult = yield Wait(call.done)
         if not result.ok:
             self.stats.failures += 1
+            self._trace_end(span, "secondary", "abort_add")
             return False
         self.table.add(shard_id, target_address, Role.SECONDARY,
                        state=ReplicaState.READY)
         self.publish()
+        self._trace_phase(span, "add_new")
         call = self._rpc(replica.address, "sm.drop_shard",
                          {"shard_id": shard_id})
         yield Wait(call.done)
         self.table.drop(replica.replica_id)
         self.publish()
+        self._trace_phase(span, "drop_old")
         self.stats.secondary_moves += 1
         self._record_moves()
+        self._trace_end(span, "secondary", "ok")
         return True

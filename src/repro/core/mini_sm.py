@@ -43,6 +43,27 @@ class Partition:
     def replica_count(self) -> int:
         return self.spec.total_replicas()
 
+    def start_orchestrator(self, engine, network, zookeeper, discovery,
+                           topology, config=None, rng=None,
+                           obs=None) -> Orchestrator:
+        """Bring the partition live with its own orchestrator.
+
+        Per §6.1 every partition runs an independent orchestrator over its
+        sub-spec.  Going through this method (rather than constructing an
+        Orchestrator by hand) guarantees the partition's shard-state
+        transitions flow through the same AssignmentTable tracing hooks as
+        single-partition deployments.
+        """
+        if self.orchestrator is not None:
+            raise RuntimeError(
+                f"partition {self.partition_id} already has an orchestrator")
+        orchestrator = Orchestrator(engine, network, zookeeper, discovery,
+                                    self.spec, topology, config=config,
+                                    rng=rng, obs=obs)
+        orchestrator.start()
+        self.orchestrator = orchestrator
+        return orchestrator
+
 
 class ApplicationManager:
     """Maps an application to one or more partitions (Figure 14).

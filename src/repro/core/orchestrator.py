@@ -24,6 +24,7 @@ from ..cluster.topology import Topology
 from ..coordination.zookeeper import WatchEvent, ZooKeeper
 from ..discovery.service_discovery import ServiceDiscovery
 from ..metrics.timeseries import Counter
+from ..obs import get_default
 from ..sim.engine import Delay, Engine, Process, Signal, Wait, every
 from ..sim.network import Network
 from ..solver.local_search import OPTIMIZED, SearchConfig
@@ -72,7 +73,8 @@ class Orchestrator:
                  discovery: ServiceDiscovery, spec: AppSpec,
                  topology: Topology,
                  config: Optional[OrchestratorConfig] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 obs=None) -> None:
         self.engine = engine
         self.network = network
         self.zookeeper = zookeeper
@@ -81,11 +83,13 @@ class Orchestrator:
         self.topology = topology
         self.config = config or OrchestratorConfig()
         self.rng = rng or random.Random(0)
+        self.obs = obs if obs is not None else get_default()
+        self._tracer = self.obs.tracer
 
         self.address = f"sm/{spec.name}/orchestrator"
         self.endpoint = network.register(self.address,
                                          self.config.control_region)
-        self.table = AssignmentTable(spec)
+        self.table = AssignmentTable(spec, tracer=self._tracer)
         self.servers: Dict[str, ServerRecord] = {}
         self.allocator = Allocator(spec, self.config.search_config, self.rng,
                                    max_moves_per_round=self.config.max_moves_per_round)
@@ -116,6 +120,14 @@ class Orchestrator:
         # empty caches and rewrites everything once.
         self._assignments_written: Set[str] = set()
         self._replica_ser: Dict[str, tuple] = {}
+        self.publishes = 0
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            prefix = f"sm.{spec.name}"
+            metrics.gauge(f"{prefix}.publishes", lambda: self.publishes)
+            metrics.gauge(f"{prefix}.moves",
+                          lambda: self.executor.stats.total_moves)
+            metrics.gauge(f"{prefix}.replicas", self.replica_total)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -246,7 +258,13 @@ class Orchestrator:
         """The server is gone for good: its replicas are lost; recreate
         them elsewhere ("the unused capacity of the application's running
         containers serves as cold standbys", §2.2.3)."""
-        for replica in self.table.on_address(address):
+        lost = self.table.on_address(address)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "orchestrator", "failover", None,
+                {"app": self.spec.name, "address": address,
+                 "replicas_lost": len(lost)})
+        for replica in lost:
             self.table.drop(replica.replica_id)
         self._write_assignments(address)
         self._mark_dirty()
@@ -270,9 +288,16 @@ class Orchestrator:
         if not self._dirty:
             return
         self._dirty = False
-        self.discovery.publish(self.table.snapshot())
+        snapshot = self.table.snapshot()
+        self.discovery.publish(snapshot)
         self._write_all_assignments()
         self._persist_state()
+        self.publishes += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "orchestrator", "publish", None,
+                {"app": self.spec.name, "version": snapshot.version,
+                 "entries": len(snapshot.entries)})
 
     def _write_assignments(self, address: str) -> None:
         name = address.replace("/", ":")
@@ -384,6 +409,13 @@ class Orchestrator:
 
     def _execute_emergency(self, plan: AllocationPlan
                            ) -> Generator[Any, Any, None]:
+        tracer = self._tracer
+        span = 0
+        if tracer.enabled:
+            span = tracer.begin("orchestrator", "emergency", None,
+                                {"app": self.spec.name,
+                                 "creates": len(plan.creates),
+                                 "promotes": len(plan.promotes)})
         try:
             for promote in plan.promotes:
                 try:
@@ -407,6 +439,9 @@ class Orchestrator:
                 yield process
         finally:
             self._emergency_running = False
+            if span:
+                tracer.end(span, None, {"outcome": "ok"},
+                           track="orchestrator", name="emergency")
 
     # -- periodic rebalancing (§5) --------------------------------------------------------------
 
@@ -419,6 +454,15 @@ class Orchestrator:
             self.rebalance_history.append(
                 (self.engine.now, plan.solve_result.initial_violations,
                  len(plan.moves)))
+            if self._tracer.enabled:
+                plan.solve_result.profile.to_trace(
+                    self._tracer, "solver", self.engine.now,
+                    prefix=f"{self.spec.name}.")
+                self._tracer.instant(
+                    "orchestrator", "rebalance", None,
+                    {"app": self.spec.name,
+                     "violations": plan.solve_result.initial_violations,
+                     "moves": len(plan.moves)})
         if not plan.moves:
             return
         self._rebalance_running = True
@@ -478,6 +522,8 @@ class Orchestrator:
         if record is not None:
             record.draining = True
 
+        tracer = self._tracer
+
         def drain() -> Generator[Any, Any, int]:
             moved = 0
             policy = self.spec.drain_policy
@@ -485,6 +531,12 @@ class Orchestrator:
                         if r.state is ReplicaState.READY
                         and policy.drains(r.role)]
             queue = list(replicas)
+            span = 0
+            if tracer.enabled:
+                span = tracer.begin("orchestrator", "drain", None,
+                                    {"app": self.spec.name,
+                                     "address": address,
+                                     "replicas": len(replicas)})
 
             def worker() -> Generator[Any, Any, None]:
                 nonlocal moved
@@ -512,6 +564,9 @@ class Orchestrator:
                        for _ in range(max(1, self.config.drain_concurrency))]
             for process in workers:
                 yield process
+            if span:
+                tracer.end(span, None, {"outcome": "ok", "moved": moved},
+                           track="orchestrator", name="drain")
             return moved
 
         return self.engine.process(drain(), name=f"drain:{address}")

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs.tracer import NO_TRACER
 from .spec import AppSpec, ShardSpec
 
 
@@ -104,8 +105,14 @@ class ShardMap:
 class AssignmentTable:
     """The orchestrator's mutable, authoritative assignment state."""
 
-    def __init__(self, spec: AppSpec) -> None:
+    def __init__(self, spec: AppSpec, tracer=NO_TRACER) -> None:
         self.spec = spec
+        # Every replica state transition flows through this table's
+        # mutators (snapshot() relies on the same property), which makes
+        # it the one chokepoint where the "shards" journal track is
+        # complete by construction — emergency placement, failover drops
+        # and MiniSM partitions included.
+        self.tracer = tracer
         self._replicas: Dict[str, ReplicaAssignment] = {}
         self._by_shard: Dict[str, List[ReplicaAssignment]] = {
             shard.shard_id: [] for shard in spec.shards}
@@ -149,7 +156,18 @@ class AssignmentTable:
         self._by_address.setdefault(address, []).append(replica)
         self._dirty.add(shard_id)
         self._dirty_addresses.add(address)
+        if self.tracer.enabled:
+            self._trace_transition("add", replica)
         return replica
+
+    def _trace_transition(self, op: str, replica: ReplicaAssignment) -> None:
+        """Journal one replica transition on the ``shards`` track (the
+        TraceChecker's primary-uniqueness and map-coverage evidence)."""
+        self.tracer.instant("shards", "transition", None, {
+            "app": self.spec.name, "op": op,
+            "shard": replica.shard_id, "replica": replica.replica_id,
+            "address": replica.address, "role": replica.role.value,
+            "state": replica.state.value})
 
     def drop(self, replica_id: str) -> None:
         replica = self._replicas.pop(replica_id, None)
@@ -164,12 +182,16 @@ class AssignmentTable:
             bucket.remove(replica)
             if not bucket:
                 del self._by_address[replica.address]
+        if self.tracer.enabled:
+            self._trace_transition("drop", replica)
 
     def set_state(self, replica_id: str, state: ReplicaState) -> None:
         replica = self._replicas[replica_id]
         replica.state = state
         self._dirty.add(replica.shard_id)
         self._dirty_addresses.add(replica.address)
+        if self.tracer.enabled:
+            self._trace_transition("set_state", replica)
 
     def set_role(self, replica_id: str, role: Role) -> None:
         replica = self._replicas[replica_id]
@@ -182,6 +204,8 @@ class AssignmentTable:
         replica.role = role
         self._dirty.add(replica.shard_id)
         self._dirty_addresses.add(replica.address)
+        if self.tracer.enabled:
+            self._trace_transition("set_role", replica)
 
     def relocate(self, replica_id: str, new_address: str) -> None:
         replica = self._replicas[replica_id]
@@ -195,6 +219,8 @@ class AssignmentTable:
         self._by_address.setdefault(new_address, []).append(replica)
         self._dirty.add(replica.shard_id)
         self._dirty_addresses.add(new_address)
+        if self.tracer.enabled:
+            self._trace_transition("relocate", replica)
 
     # -- queries ------------------------------------------------------------
 

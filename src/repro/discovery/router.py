@@ -79,6 +79,28 @@ class ServiceRouter:
         # depends on which endpoints are registered).
         self._route_caches: Tuple[dict, dict] = ({}, {})
         self._route_epoch = -1
+        # Routing counters: plain unconditional int bumps on the hot path
+        # (cheaper than any guard); surfaced as registry gauges below.
+        self.requests_started = 0
+        self.requests_failed = 0
+        self.retries = 0
+        self.misroutes = 0
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self._tracer = network.tracer
+        if self._tracer.enabled and self._tracer.registry is not None:
+            registry = self._tracer.registry
+            base = f"router.{client_address}"
+            registry.gauge(f"{base}.requests_started",
+                           lambda: self.requests_started)
+            registry.gauge(f"{base}.requests_failed",
+                           lambda: self.requests_failed)
+            registry.gauge(f"{base}.retries", lambda: self.retries)
+            registry.gauge(f"{base}.misroutes", lambda: self.misroutes)
+            registry.gauge(f"{base}.route_cache_hits",
+                           lambda: self.route_cache_hits)
+            registry.gauge(f"{base}.route_cache_misses",
+                           lambda: self.route_cache_misses)
 
     # -- map handling -----------------------------------------------------------
 
@@ -171,8 +193,11 @@ class ServiceRouter:
         cache = self._route_caches[1 if prefer_primary else 0]
         route = cache.get(key)
         if route is None:
+            self.route_cache_misses += 1
             route = self.pick_address(key, prefer_primary=prefer_primary)
             cache[key] = route
+        else:
+            self.route_cache_hits += 1
         return route
 
     # -- the request state machine -------------------------------------------------
@@ -249,6 +274,7 @@ class _RequestOp:
         # settled, and servers copy the dict before async forwarding.
         self.message = {"key": key, "shard_id": "", "payload": payload,
                         "forwarded": False}
+        router.requests_started += 1
         self._attempt_once()
 
     def _attempt_once(self) -> None:
@@ -281,10 +307,23 @@ class _RequestOp:
                 latency=self.engine.now - self.start,
                 attempts=self.attempt, shard_id=self.shard_id))
             return
+        router = self.router
         self.last_error = result.error
         self.tried = self.tried + (self.address,)
-        if self.attempt < self.router.attempts:
-            self.engine.call_after(self.router.retry_backoff,
+        if "NotOwner" in result.error:
+            # The map we routed with was stale: the server disowned the
+            # shard (§3.2 — clients hide misroutes behind retries).
+            router.misroutes += 1
+            tracer = router._tracer
+            if tracer.enabled:
+                tracer.instant("router", "misroute", self.engine.now,
+                               {"client": router.client_address,
+                                "address": self.address,
+                                "shard": self.shard_id,
+                                "attempt": self.attempt})
+        if self.attempt < router.attempts:
+            router.retries += 1
+            self.engine.call_after(router.retry_backoff,
                                    self._backoff_done)
         else:
             self._fail()
@@ -297,10 +336,18 @@ class _RequestOp:
         self._attempt_once()
 
     def _fail(self) -> None:
+        router = self.router
+        router.requests_failed += 1
+        tracer = router._tracer
+        if tracer.enabled:
+            tracer.instant("router", "request_failed", self.engine.now,
+                           {"client": router.client_address,
+                            "shard": self.shard_id,
+                            "error": self.last_error})
         self._finish(RequestOutcome(
             ok=False, error=self.last_error,
             latency=self.engine.now - self.start,
-            attempts=self.router.attempts, shard_id=self.shard_id))
+            attempts=router.attempts, shard_id=self.shard_id))
 
     def _finish(self, outcome: RequestOutcome) -> None:
         self.outcome = outcome

@@ -155,6 +155,56 @@ def run_task(task: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def select_task(tasks: List[Dict[str, Any]], spec: str) -> Dict[str, Any]:
+    """Resolve ``"fig17"`` or ``"fig17:sm"`` to a single task dict.
+
+    A bare figure with multiple arms picks the first (for fig17: "sm") —
+    tracing a single well-defined run is the point, not a sweep.
+    """
+    figure, _, name = spec.partition(":")
+    matches = [t for t in tasks if t["figure"] == figure
+               and (not name or t["name"] == name)]
+    if not matches:
+        known = sorted({f"{t['figure']}:{t['name']}" for t in tasks})
+        raise KeyError(f"no task matches {spec!r}; known: {known}")
+    return matches[0]
+
+
+def run_traced(task: Dict[str, Any], trace_path: str,
+               journal_path: Optional[str] = None,
+               capacity: int = 1 << 20) -> Dict[str, Any]:
+    """Run one task inline with observability enabled and export traces.
+
+    Returns the normal :func:`run_task` result with a ``trace`` section:
+    export paths, journal stats, the deterministic digest, every
+    TraceChecker violation (empty = invariants hold) and the final
+    metrics snapshot.
+    """
+    from repro.obs import Observability, use
+    from repro.obs.checker import TraceChecker
+    from repro.obs.trace_export import write_chrome_trace, write_jsonl
+
+    obs = Observability(capacity=capacity)
+    with use(obs):
+        result = run_task(task)
+    journal = obs.journal
+    write_chrome_trace(journal, trace_path)
+    if journal_path:
+        write_jsonl(journal, journal_path)
+    violations = TraceChecker(journal).check()
+    result["trace"] = {
+        "trace_path": trace_path,
+        "journal_path": journal_path,
+        "records": journal.appended,
+        "dropped": journal.dropped,
+        "tracks": journal.tracks(),
+        "digest": journal.digest(),
+        "violations": [v.as_dict() for v in violations],
+        "metrics": obs.metrics.snapshot(),
+    }
+    return result
+
+
 def run_experiments(tasks: Optional[List[Dict[str, Any]]] = None,
                     processes: Optional[int] = None,
                     serial: bool = False) -> Dict[str, Any]:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .app.client import ApplicationClient
 from .app.runtime import AppRuntime
 from .cluster.container import Container
+from .cluster.taskcontrol import TracedTaskController
 from .cluster.topology import Topology, build_topology
 from .cluster.twine import Twine, TwineConfig
 from .coordination.zookeeper import ZooKeeper
@@ -23,6 +24,7 @@ from .core.orchestrator import Orchestrator, OrchestratorConfig
 from .core.spec import AppSpec
 from .core.task_controller import SMTaskController, SMTaskControllerConfig
 from .discovery.service_discovery import ServiceDiscovery
+from .obs import NO_OBS, Observability, get_default
 from .sim.engine import Engine
 from .sim.network import LatencyModel, Network
 from .sim.rng import substream
@@ -39,6 +41,7 @@ class SimCluster:
     discovery: ServiceDiscovery
     twines: Dict[str, Twine]
     seed: int
+    obs: Observability = field(default_factory=lambda: NO_OBS)
 
     @classmethod
     def build(cls, regions: Sequence[str] = ("FRC", "PRN", "ODN"),
@@ -51,7 +54,9 @@ class SimCluster:
               twine_config: Optional[TwineConfig] = None,
               discovery_base_delay: float = 1.0,
               discovery_jitter: float = 1.0,
-              zk_session_timeout: float = 10.0) -> "SimCluster":
+              zk_session_timeout: float = 10.0,
+              obs: Optional[Observability] = None) -> "SimCluster":
+        obs = obs if obs is not None else get_default()
         engine = Engine()
         topology = build_topology(
             regions=list(regions),
@@ -64,7 +69,17 @@ class SimCluster:
         if latency is None:
             latency = _latency_for(regions)
         network = Network(engine, latency=latency,
-                          rng=substream(seed, "network"))
+                          rng=substream(seed, "network"),
+                          tracer=obs.tracer)
+        if obs.enabled:
+            engine.set_tracer(obs.tracer, sample_every=obs.engine_sample)
+            obs.metrics.gauge("engine.processed_events",
+                              lambda: engine.processed_events)
+            obs.metrics.gauge("engine.pending_events",
+                              lambda: engine.pending_events)
+            obs.metrics.gauge("net.rpcs_sent", lambda: network.rpcs_sent)
+            obs.metrics.gauge("net.rpcs_failed", lambda: network.rpcs_failed)
+            network.latency_hist = obs.metrics.histogram("net.rpc_latency_ms")
         zookeeper = ZooKeeper(engine,
                               default_session_timeout=zk_session_timeout)
         discovery = ServiceDiscovery(engine, base_delay=discovery_base_delay,
@@ -81,7 +96,7 @@ class SimCluster:
             )
         return cls(engine=engine, topology=topology, network=network,
                    zookeeper=zookeeper, discovery=discovery, twines=twines,
-                   seed=seed)
+                   seed=seed, obs=obs)
 
     def run(self, until: float) -> float:
         return self.engine.run(until=until)
@@ -194,6 +209,7 @@ def deploy_app(cluster: SimCluster, spec: AppSpec,
         topology=cluster.topology,
         config=orchestrator_config,
         rng=substream(cluster.seed, "orchestrator", spec.name),
+        obs=cluster.obs,
     )
     orchestrator.start()
 
@@ -201,8 +217,12 @@ def deploy_app(cluster: SimCluster, spec: AppSpec,
     if with_task_controller:
         controller = SMTaskController(cluster.engine, orchestrator,
                                       controller_config)
+        # Twine talks to the traced facade; tests keep the raw controller
+        # (DeployedApp.controller) for white-box access to its internals.
+        registered = (TracedTaskController(controller, cluster.obs.tracer)
+                      if cluster.obs.enabled else controller)
         for region in servers_per_region:
-            cluster.twines[region].register_task_controller(controller)
+            cluster.twines[region].register_task_controller(registered)
 
     deployed = DeployedApp(spec=spec, runtime=runtime,
                            orchestrator=orchestrator, controller=controller,

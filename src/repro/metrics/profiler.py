@@ -92,6 +92,25 @@ class Profiler:
             "counters": self.counters,
         }
 
+    def to_trace(self, tracer, track: str = "solver",
+                 time: Optional[float] = None, prefix: str = "") -> None:
+        """Emit the recorded stages/counters onto a trace track.
+
+        Wall-clock values land in ``wall_ms`` args, which the journal
+        digest deliberately excludes — so traces stay bit-identical across
+        machines while still carrying solver timing for Perfetto.
+        """
+        if not tracer.enabled:
+            return
+        for name in sorted(self._stages):
+            calls, seconds = self._stages[name]
+            tracer.instant(track, prefix + name, time,
+                           {"calls": calls, "wall_ms": seconds * 1e3})
+        if self._counters:
+            tracer.instant(track, prefix + "counters", time,
+                           {name: self._counters[name]
+                            for name in sorted(self._counters)})
+
     def format(self, total: Optional[float] = None, indent: str = "  ") -> str:
         """An aligned per-stage table; ``total`` (e.g. solve wall-clock)
         adds a percent-of-total column."""

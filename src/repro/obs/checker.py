@@ -1,0 +1,212 @@
+"""Trace-driven invariant checking: replay the journal, assert the protocol.
+
+The :class:`TraceChecker` turns the observability journal into an oracle
+for cross-layer invariants that no single unit test sees end to end:
+
+* **single completion** — no span ends twice; in particular an RPC never
+  both delivers and fails (the class of bug the ``rpcs_failed``
+  double-count fix addressed);
+* **primary uniqueness** — replaying the ``shards`` transition records,
+  a shard never has two READY primaries at any point in time;
+* **migration protocol** — every migration span that ends with
+  ``outcome == "ok"`` contains its protocol's full phase sequence in
+  order (§4.3's prepare → forward → handoff → publish → drop_old for the
+  graceful path); a "torn" migration that claims success without the
+  complete handshake is flagged.
+
+:meth:`TraceChecker.check_shard_map` additionally cross-checks a final
+published :class:`~repro.core.shard_map.ShardMap` against the journal:
+every routable address must be explained by a READY transition record —
+the regression guard for paths (MiniSM partitions, emergency placement)
+that once bypassed the orchestrator's bookkeeping.
+
+The checker tolerates ring-buffer truncation: span ends whose begins were
+evicted, and spans still open when the run stopped, are not violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .tracer import KIND_BEGIN, KIND_END, KIND_INSTANT, Journal
+
+__all__ = ["Violation", "TraceChecker", "REQUIRED_PHASES"]
+
+#: Per migration kind, the in-order phase sequence an ``ok`` span must show.
+REQUIRED_PHASES: Dict[str, Tuple[str, ...]] = {
+    "graceful": ("prepare", "forward", "handoff", "publish", "drop_old"),
+    "abrupt": ("drop_old", "handoff"),
+    "secondary": ("add_new", "drop_old"),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to a journal sequence number."""
+
+    invariant: str
+    message: str
+    seq: int
+
+    def __str__(self) -> str:
+        return f"[{self.invariant} @seq={self.seq}] {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"invariant": self.invariant, "message": self.message,
+                "seq": self.seq}
+
+
+def _is_subsequence(needle: Tuple[str, ...], haystack: List[str]) -> bool:
+    it = iter(haystack)
+    return all(item in it for item in needle)
+
+
+class TraceChecker:
+    """Replays a :class:`~repro.obs.tracer.Journal` against the invariants."""
+
+    def __init__(self, journal: Journal) -> None:
+        self.journal = journal
+
+    # -- entry points --------------------------------------------------------
+
+    def check(self) -> List[Violation]:
+        """Run the full journal invariant set; [] means clean."""
+        violations: List[Violation] = []
+        violations.extend(self._check_single_completion())
+        violations.extend(self._check_primary_uniqueness())
+        violations.extend(self._check_migration_protocol())
+        return violations
+
+    def assert_clean(self) -> None:
+        violations = self.check()
+        if violations:
+            raise AssertionError(
+                "trace invariants violated:\n"
+                + "\n".join(f"  {v}" for v in violations))
+
+    # -- invariant 1: spans settle exactly once ------------------------------
+
+    def _check_single_completion(self) -> List[Violation]:
+        violations: List[Violation] = []
+        ended: Dict[int, Any] = {}  # span -> first end record
+        for record in self.journal:
+            if record.kind != KIND_END:
+                continue
+            first = ended.get(record.span)
+            if first is None:
+                ended[record.span] = record
+                continue
+            detail = ""
+            if record.track == "net" or first.track == "net":
+                first_ok = (first.args or {}).get("ok")
+                this_ok = (record.args or {}).get("ok")
+                detail = (f" (rpc completed as ok={first_ok} "
+                          f"then again as ok={this_ok})")
+            violations.append(Violation(
+                "single-completion",
+                f"span {record.span} ({first.track}/{first.name}) "
+                f"ended more than once{detail}",
+                record.seq))
+        return violations
+
+    # -- invariant 2: one READY primary per shard ----------------------------
+
+    def _check_primary_uniqueness(self) -> List[Violation]:
+        violations: List[Violation] = []
+        # (app, shard) -> {replica_id: (role, state, address)}
+        shards: Dict[Tuple[str, str], Dict[str, Tuple[str, str, str]]] = {}
+        flagged: set = set()
+        for record in self.journal:
+            if record.kind != KIND_INSTANT or record.track != "shards":
+                continue
+            args = record.args or {}
+            key = (args.get("app", ""), args.get("shard", ""))
+            replicas = shards.setdefault(key, {})
+            replica_id = args.get("replica", "")
+            if args.get("op") == "drop":
+                replicas.pop(replica_id, None)
+                continue
+            replicas[replica_id] = (args.get("role", ""),
+                                    args.get("state", ""),
+                                    args.get("address", ""))
+            primaries = [a for (r, s, a) in replicas.values()
+                         if r == "primary" and s == "ready"]
+            if len(primaries) > 1 and key not in flagged:
+                flagged.add(key)
+                violations.append(Violation(
+                    "primary-uniqueness",
+                    f"shard {key[1]} of {key[0]} has {len(primaries)} READY "
+                    f"primaries at t={record.time!r}: {sorted(primaries)}",
+                    record.seq))
+        return violations
+
+    # -- invariant 3: successful migrations ran the whole protocol -----------
+
+    def _check_migration_protocol(self) -> List[Violation]:
+        violations: List[Violation] = []
+        begins: Dict[int, Any] = {}
+        phases: Dict[int, List[str]] = {}
+        for record in self.journal:
+            if record.track != "migration":
+                continue
+            if record.kind == KIND_BEGIN:
+                begins[record.span] = record
+                phases[record.span] = []
+            elif record.kind == KIND_INSTANT and record.name == "phase":
+                args = record.args or {}
+                span = args.get("span", 0)
+                if span in phases:
+                    phases[span].append(args.get("phase", ""))
+            elif record.kind == KIND_END:
+                begin = begins.pop(record.span, None)
+                observed = phases.pop(record.span, None)
+                if begin is None:
+                    continue  # begin evicted by the ring: unverifiable
+                outcome = (record.args or {}).get("outcome", "")
+                if outcome != "ok":
+                    continue  # aborted migrations make no phase promise
+                required = REQUIRED_PHASES.get(begin.name)
+                if required is None:
+                    continue
+                if not _is_subsequence(required, observed or []):
+                    args = begin.args or {}
+                    violations.append(Violation(
+                        "migration-protocol",
+                        f"{begin.name} migration span {record.span} "
+                        f"(shard {args.get('shard', '?')}) ended ok with "
+                        f"phases {observed} — requires {list(required)} "
+                        f"in order",
+                        record.seq))
+        # Spans still open at the end of the run are in-flight, not torn.
+        return violations
+
+    # -- cross-check: final map vs transition records ------------------------
+
+    def check_shard_map(self, shard_map) -> List[Violation]:
+        """Every routable address in ``shard_map`` must have a journaled
+        READY transition for that shard.
+
+        Catches assignment paths that mutate placement without going
+        through the instrumented :class:`~repro.core.shard_map.AssignmentTable`
+        chokepoint.
+        """
+        explained: set = set()  # (app, shard, address) seen READY
+        for record in self.journal:
+            if record.kind != KIND_INSTANT or record.track != "shards":
+                continue
+            args = record.args or {}
+            if args.get("state") == "ready":
+                explained.add((args.get("app", ""), args.get("shard", ""),
+                               args.get("address", "")))
+        violations: List[Violation] = []
+        for entry in shard_map.entries:
+            for address in entry.all_addresses():
+                if (shard_map.app, entry.shard_id, address) not in explained:
+                    violations.append(Violation(
+                        "map-coverage",
+                        f"map v{shard_map.version}: {entry.shard_id} routes "
+                        f"to {address} but the journal has no READY "
+                        f"transition for it",
+                        -1))
+        return violations

@@ -1,0 +1,165 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.obs.Observability`
+context absorbs the ad-hoc counters scattered across the codebase
+(``Network.rpcs_sent``/``rpcs_failed``, engine event counts, router
+retries, orchestrator publish/move counts) behind a single named
+namespace, without touching the hot paths that maintain them:
+
+* components keep bumping their plain ``int`` attributes (unconditional
+  integer adds — the fastest possible "metric");
+* when observability is enabled, the wiring layer registers *callback
+  gauges* that read those attributes lazily at snapshot time.
+
+Counters and histograms are for code that is only reached when
+observability is on (instrumentation blocks guarded by
+``tracer.enabled``), so none of these classes need a disabled fast path
+of their own.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (unit chosen by the caller —
+#: the built-in RPC latency histogram feeds milliseconds).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A named read-through value: ``fn()`` is evaluated on snapshot.
+
+    Callback gauges are how the registry absorbs pre-existing raw
+    counters without adding a registry call to any hot path.
+    """
+
+    __slots__ = ("name", "fn")
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return self.fn()
+
+    def snapshot(self) -> float:
+        return self.fn()
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (upper-bound buckets + overflow)."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the q-th observation (the last finite bound for overflow)."""
+        if not self.total:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return self.bounds[min(index, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"total": self.total, "sum": self.sum, "mean": self.mean,
+                "buckets": {repr(bound): count for bound, count
+                            in zip(self.bounds, self.counts)},
+                "overflow": self.counts[-1]}
+
+
+class MetricsRegistry:
+    """Name → metric.  Re-registering a name returns/replaces the
+    existing metric of the same kind (so failover re-wiring is safe) and
+    raises on a kind clash."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _slot(self, name: str, kind: str):
+        existing = self._metrics.get(name)
+        if existing is not None and existing.kind != kind:
+            raise ValueError(f"metric {name!r} already registered as "
+                             f"{existing.kind}, not {kind}")
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        existing = self._slot(name, "counter")
+        if existing is None:
+            existing = Counter(name)
+            self._metrics[name] = existing
+        return existing
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        existing = self._slot(name, "gauge")
+        if existing is None:
+            existing = Gauge(name, fn)
+            self._metrics[name] = existing
+        else:
+            existing.fn = fn  # latest registration wins (e.g. failover)
+        return existing
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        existing = self._slot(name, "histogram")
+        if existing is None:
+            existing = Histogram(name, bounds)
+            self._metrics[name] = existing
+        return existing
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly {name: value} across every registered metric."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}

@@ -105,6 +105,26 @@ class Engine:
         self._running = False
         self._processed = 0
         self._pending = 0
+        # Observability: None keeps run() on the untraced loop (the
+        # common case pays one `is None` check per run() call, not per
+        # event); set via set_tracer().
+        self._trace = None
+        self._trace_sample = 64
+
+    def set_tracer(self, tracer, sample_every: int = 64) -> None:
+        """Attach a :class:`repro.obs.Tracer` for dispatch sampling.
+
+        Every ``sample_every``-th executed event records an instant (the
+        callback's qualified name) plus a queue-depth counter sample on
+        the ``engine`` track.  Passing a disabled tracer (or ``None``)
+        detaches, restoring the untraced run loop verbatim.
+        """
+        if tracer is None or not tracer.enabled:
+            self._trace = None
+            return
+        self._trace = tracer
+        self._trace_sample = max(1, sample_every)
+        tracer.bind_clock(self)
 
     @property
     def now(self) -> float:
@@ -175,6 +195,8 @@ class Engine:
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
+        if self._trace is not None:
+            return self._run_traced(until, max_events)
         self._running = True
         executed = 0
         heap = self._heap
@@ -222,6 +244,79 @@ class Engine:
                 event.done = True
                 self._pending -= 1
                 arg = event.arg
+                if arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(arg)
+                executed += 1
+        finally:
+            self._running = False
+            self._processed += executed
+            Engine.total_processed_events += executed
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def _run_traced(self, until: Optional[float],
+                    max_events: Optional[int]) -> float:
+        """The run loop with dispatch sampling (see :meth:`set_tracer`).
+
+        A verbatim copy of :meth:`run` plus the sampling block, kept
+        separate so the untraced loop carries zero per-event overhead.
+        Tracing is pure observation: event selection, clock updates and
+        callback invocation are identical, so seeded runs stay
+        bit-identical with tracing on or off.
+        """
+        self._running = True
+        executed = 0
+        heap = self._heap
+        immediate = self._immediate
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        trace = self._trace
+        sample = self._trace_sample
+        try:
+            while heap or immediate:
+                if immediate:
+                    event = immediate[0]
+                    if heap:
+                        head = heap[0]
+                        if head[0] < event.time or (head[0] == event.time
+                                                    and head[1] < event.seq):
+                            event = head[2]
+                            from_heap = True
+                        else:
+                            from_heap = False
+                    else:
+                        from_heap = False
+                else:
+                    event = heap[0][2]
+                    from_heap = True
+                if event.cancelled:
+                    if from_heap:
+                        heappop(heap)
+                    else:
+                        immediate.popleft()
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                if from_heap:
+                    heappop(heap)
+                else:
+                    immediate.popleft()
+                self._now = event.time
+                event.done = True
+                self._pending -= 1
+                arg = event.arg
+                if executed % sample == 0:
+                    callback = event.callback
+                    name = (getattr(callback, "__qualname__", None)
+                            or type(callback).__name__)
+                    trace.instant("engine", name, event.time)
+                    trace.counter("engine", "pending_events",
+                                  self._pending, event.time)
                 if arg is no_arg:
                     event.callback()
                 else:

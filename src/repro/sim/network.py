@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..obs.tracer import NO_TRACER
 from .engine import Engine, Signal
 
 # One-way latencies in seconds, loosely calibrated to public RTT data for
@@ -221,7 +222,7 @@ class _RpcOp:
     """
 
     __slots__ = ("net", "call", "src", "dst", "timeout", "start",
-                 "method", "payload", "req_latency")
+                 "method", "payload", "req_latency", "trace_span")
 
     def __init__(self, net: "Network", call: RpcCall,
                  src: Optional[Endpoint], dst: Optional[Endpoint],
@@ -235,6 +236,7 @@ class _RpcOp:
         self.payload = payload
         self.timeout = timeout
         self.start = start
+        self.trace_span = 0  # non-zero only while tracing is enabled
 
     def fail(self, reason: str) -> None:
         """Complete with a failure — the *only* place ``rpcs_failed`` is
@@ -245,6 +247,21 @@ class _RpcOp:
                 RpcResult(ok=False, error=reason,
                           latency=net.engine.now - self.start)):
             net.rpcs_failed += 1
+            if self.trace_span:
+                self._trace_end(call.result)
+
+    def _trace_end(self, result: RpcResult) -> None:
+        """Close this RPC's span on the settling completion (winner only:
+        both callers sit behind the first-completion-wins guard, so the
+        span ends exactly once — the invariant the TraceChecker asserts)."""
+        net = self.net
+        net.tracer.end(self.trace_span, net.engine.now,
+                       {"ok": int(result.ok), "error": result.error,
+                        "latency": result.latency},
+                       track="net", name=self.method)
+        hist = net.latency_hist
+        if hist is not None:
+            hist.observe(result.latency * 1e3)
 
     def deliver_request(self) -> None:
         """Request arrives at the destination (scheduled at send time)."""
@@ -292,7 +309,8 @@ class _RpcOp:
         if not self.src.up:
             self.fail("caller down")
             return
-        self.call._complete(result)
+        if self.call._complete(result) and self.trace_span:
+            self._trace_end(result)
 
     def fail_response(self, error: str) -> None:
         if not self.src.up:
@@ -315,12 +333,17 @@ class Network:
                  latency: Optional[LatencyModel] = None,
                  rng: Optional[random.Random] = None,
                  default_timeout: float = 1.0,
-                 loss_probability: float = 0.0) -> None:
+                 loss_probability: float = 0.0,
+                 tracer=NO_TRACER) -> None:
         self.engine = engine
         self.latency = latency or LatencyModel()
         self.rng = rng or random.Random(0)
         self.default_timeout = default_timeout
         self.loss_probability = loss_probability
+        self.tracer = tracer
+        #: Optional repro.obs Histogram fed with settled-RPC latency (ms);
+        #: wired by the harness when observability is enabled.
+        self.latency_hist = None
         self._endpoints: Dict[str, Endpoint] = {}
         self._partitions: set[frozenset[str]] = set()
         self.rpcs_sent = 0
@@ -384,6 +407,15 @@ class Network:
         dst = endpoints.get(dst_address)
         op = _RpcOp(self, call, src, dst, method, payload, timeout,
                     engine.now)
+
+        tracer = self.tracer
+        if tracer.enabled:
+            args = {"src": src_address, "dst": dst_address}
+            if src is not None:
+                args["src_region"] = src.region
+            if dst is not None:
+                args["dst_region"] = dst.region
+            op.trace_span = tracer.begin("net", method, engine.now, args)
 
         if src is None:
             engine.call_after(0.0, op.fail, f"unknown source {src_address!r}")

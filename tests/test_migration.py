@@ -7,12 +7,15 @@ from repro.core.orchestrator import OrchestratorConfig
 from repro.core.shard_map import ReplicaState, Role
 from repro.core.spec import AppSpec, ReplicationStrategy, uniform_shards
 from repro.harness import SimCluster, deploy_app
+from repro.obs import Observability
+from repro.obs.checker import REQUIRED_PHASES, TraceChecker
 
 
 def make_app(replication=ReplicationStrategy.PRIMARY_ONLY, shards=4,
-             servers=4, replica_count=None):
+             servers=4, replica_count=None, obs=None):
     cluster = SimCluster.build(regions=("FRC",),
-                               machines_per_region=servers + 2, seed=19)
+                               machines_per_region=servers + 2, seed=19,
+                               obs=obs)
     if replica_count is None:
         replica_count = (1 if replication is ReplicationStrategy.PRIMARY_ONLY
                          else 2)
@@ -152,3 +155,117 @@ class TestRoleChanges:
         assert drop.result is True
         assert all(r.address != target
                    for r in app.orchestrator.table.replicas_of("shard1"))
+
+
+def migration_spans(journal):
+    """``[(kind, phases, outcome), ...]`` per migration span, in begin order."""
+    begins, phases, ends = {}, {}, {}
+    for record in journal.records():
+        if record.track == "migration":
+            if record.kind == "B":
+                begins[record.span] = record.name
+                phases[record.span] = []
+            elif record.kind == "E":
+                ends[record.span] = (record.args or {}).get("outcome")
+            elif record.name == "phase":
+                phases[(record.args or {})["span"]].append(
+                    record.args["phase"])
+    return [(kind, tuple(phases[span]), ends.get(span))
+            for span, kind in begins.items()]
+
+
+class TestTracedMigrationFailures:
+    """TraceChecker-backed failure injection: the journal must stay
+    coherent no matter where inside the §4.3 protocol the target dies."""
+
+    def test_graceful_trace_is_protocol_complete(self):
+        obs = Observability()
+        cluster, app = make_app(obs=obs)
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        process = cluster.engine.process(
+            executor.graceful_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        spans = migration_spans(obs.journal)
+        assert ("graceful", REQUIRED_PHASES["graceful"], "ok") in spans
+        TraceChecker(obs.journal).assert_clean()
+
+    def test_abrupt_trace_is_protocol_complete(self):
+        obs = Observability()
+        cluster, app = make_app(obs=obs)
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        process = cluster.engine.process(
+            executor.abrupt_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 10.0)
+        assert process.result is True
+        spans = migration_spans(obs.journal)
+        assert ("abrupt", REQUIRED_PHASES["abrupt"], "ok") in spans
+        TraceChecker(obs.journal).assert_clean()
+
+    def test_target_failure_at_every_protocol_point(self):
+        # Sweep the kill time across the whole migration window
+        # (~0.01s of sim time): every interleaving must leave a clean
+        # journal and at most one READY primary, whether the migration
+        # aborted at prepare, forward, or handoff, or squeaked through.
+        outcomes = set()
+        for offset in [i * 0.0015 for i in range(8)]:
+            obs = Observability()
+            cluster, app = make_app(obs=obs)
+            executor = app.orchestrator.executor
+            old = app.orchestrator.table.primary_of("shard0")
+            target = fresh_target(app, "shard0")
+            cluster.engine.call_after(
+                offset, lambda t=target: cluster.network.set_endpoint_up(
+                    t, False))
+            process = cluster.engine.process(
+                executor.graceful_primary_migration(old, target))
+            cluster.run(until=cluster.engine.now + 20.0)
+            spans = [s for s in migration_spans(obs.journal)
+                     if s[0] == "graceful"]
+            assert len(spans) == 1
+            outcome = spans[0][2]
+            outcomes.add(outcome)
+            assert outcome is not None, f"span never closed at {offset}"
+            if process.result:
+                assert outcome == "ok"
+                assert app.orchestrator.table.primary_of(
+                    "shard0").address == target
+            else:
+                assert outcome.startswith("abort_")
+                current = app.orchestrator.table.primary_of("shard0")
+                assert current is not None
+                assert current.address == old.address
+            ready_primaries = [
+                r for r in app.orchestrator.table.replicas_of("shard0")
+                if r.role is Role.PRIMARY
+                and r.state is ReplicaState.READY]
+            assert len(ready_primaries) == 1
+            TraceChecker(obs.journal).assert_clean()
+        # The sweep actually exercised both failure and success paths.
+        assert any(o.startswith("abort_") for o in outcomes)
+        assert "ok" in outcomes
+
+    def test_old_primary_failure_mid_migration(self):
+        obs = Observability()
+        cluster, app = make_app(obs=obs)
+        executor = app.orchestrator.executor
+        old = app.orchestrator.table.primary_of("shard0")
+        target = fresh_target(app, "shard0")
+        # Kill the *source* right as forwarding would be requested.
+        cluster.engine.call_after(
+            0.0025, lambda: cluster.network.set_endpoint_up(
+                old.address, False))
+        process = cluster.engine.process(
+            executor.graceful_primary_migration(old, target))
+        cluster.run(until=cluster.engine.now + 20.0)
+        spans = [s for s in migration_spans(obs.journal)
+                 if s[0] == "graceful"]
+        assert len(spans) == 1
+        assert spans[0][2] is not None
+        TraceChecker(obs.journal).assert_clean()
+        if not process.result:
+            assert spans[0][2].startswith("abort_")
