@@ -117,6 +117,31 @@ class ApplicationServer:
         if not self._stopped and not self.session.expired:
             self.session.heartbeat()
 
+    def reconnect_zk(self) -> bool:
+        """Re-establish the ZooKeeper session after an expiry.
+
+        A real SM library reconnects when its session is lost (GC pause,
+        ZK leader election, chaos-injected session kill): it opens a new
+        session and re-creates its ephemeral liveness node, taking over
+        from a stale node if the old one has not been reaped yet.  Returns
+        True when a new session was established.
+        """
+        if self._stopped or not self.session.expired:
+            return False
+        self.session = self.zookeeper.create_session()
+        data = {"address": self.address, "region": self.region,
+                "machine": self.container.machine.machine_id}
+        try:
+            self.zookeeper.create(self._liveness_path, data=data,
+                                  ephemeral=True, session=self.session,
+                                  make_parents=True)
+        except NodeExistsError:
+            self.zookeeper.delete(self._liveness_path)
+            self.zookeeper.create(self._liveness_path, data=data,
+                                  ephemeral=True, session=self.session,
+                                  make_parents=True)
+        return True
+
     def _bootstrap_from_zookeeper(self) -> None:
         """§3.2: read the shard assignment written by the orchestrator,
         'without dependency on the SM control plane'."""

@@ -1,0 +1,26 @@
+"""Deterministic chaos: declarative fault scenarios with a trace oracle.
+
+Compose unplanned crashes, network partitions, ZooKeeper session churn
+and planned maintenance into named, seeded scenarios; every injected
+fault is journaled and the run is judged by replaying the journal
+through the :class:`~repro.obs.checker.TraceChecker` invariants.
+"""
+
+from .library import SCENARIOS, all_scenarios, get
+from .scenario import (ACTIONS, ARMS, Expectations, FaultAction,
+                       ScenarioResult, ScenarioRun, ScenarioSpec,
+                       run_scenario)
+
+__all__ = [
+    "ACTIONS",
+    "ARMS",
+    "Expectations",
+    "FaultAction",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "all_scenarios",
+    "get",
+    "run_scenario",
+]

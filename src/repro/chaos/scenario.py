@@ -1,0 +1,556 @@
+"""The chaos scenario engine: declarative, seeded, trace-checked faults.
+
+A :class:`ScenarioSpec` is a timeline of :class:`FaultAction`\\ s —
+machine crashes, rack blackouts, region partitions, ZooKeeper session
+kills, planned maintenance, rolling upgrades, control-plane failovers and
+in-scenario probes — executed against the standard harness
+(:class:`~repro.harness.SimCluster` + :func:`~repro.harness.deploy_app`).
+
+Contract (see DESIGN.md, "Chaos scenarios"):
+
+* **deterministic** — a scenario run is a pure function of
+  ``(spec, arm, seed)``; two runs produce bit-identical journals
+  (:meth:`~repro.obs.tracer.Journal.digest` is the fingerprint);
+* **audited** — every injected fault lands on the ``chaos`` journal
+  track with a unique fault id and must be matched by a recovery record
+  (:meth:`~repro.obs.checker.TraceChecker.check_fault_recovery`);
+* **checked** — after the run the full TraceChecker invariant set plus
+  the scenario's :class:`Expectations` (availability bound,
+  failover-detection bound, end-state health) is the pass/fail oracle.
+
+Faults compose through the cluster layer's down-hold mechanism: chaos
+crashes hold machines down under their fault id, planned maintenance
+under its notice id, so overlapping events neither double-apply nor
+cut each other short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..app.client import WorkloadRecorder
+from ..cluster.container import Container
+from ..cluster.taskcontrol import MaintenanceImpact
+from ..cluster.topology import Machine
+from ..core.orchestrator import OrchestratorConfig
+from ..core.spec import AppSpec, ReplicationStrategy, uniform_shards
+from ..core.task_controller import SMTaskControllerConfig
+from ..harness import DeployedApp, SimCluster, deploy_app
+from ..obs import Observability, use
+from ..obs.checker import TraceChecker, Violation
+from ..sim.failures import CrashInjector
+from ..sim.rng import substream
+
+__all__ = ["FaultAction", "Expectations", "ScenarioSpec", "ScenarioResult",
+           "ScenarioRun", "run_scenario", "ARMS", "ACTIONS"]
+
+#: Ablation arms every scenario runs under: SM's full machinery versus a
+#: baseline with neither graceful migration nor a TaskController.
+ARMS: Dict[str, Dict[str, bool]] = {
+    "sm": {"graceful": True, "with_task_controller": True},
+    "baseline": {"graceful": False, "with_task_controller": False},
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timeline entry: at ``at`` seconds (relative to the scenario
+    start, i.e. after deploy + settle), run the ``kind`` executor.
+
+    ``duration`` is how long self-reverting faults last; ``params`` are
+    kind-specific (region, machine index, impact, ...), stored as a
+    tuple of pairs so specs stay hashable/frozen.
+    """
+
+    at: float
+    kind: str
+    duration: float = 0.0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class Expectations:
+    """Per-scenario invariant bounds (the oracle's tunable half).
+
+    ``None`` disables a bound — e.g. a scenario whose planned-event
+    suppression legitimately defers failover past any fixed bound.
+    """
+
+    #: Max seconds any shard may lack a READY primary (table-level).
+    availability_bound: Optional[float] = None
+    #: Max seconds between a server-killing fault and its recovery or
+    #: orchestrator failover record.
+    failover_bound: Optional[float] = None
+    #: Fraction of desired replicas READY at scenario end.
+    final_ready_min: float = 0.95
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, fully self-describing chaos scenario."""
+
+    name: str
+    title: str
+    actions: Tuple[FaultAction, ...]
+    duration: float = 480.0
+    regions: Tuple[str, ...] = ("FRC", "PRN", "ODN")
+    machines_per_region: int = 8
+    servers_per_region: int = 4
+    shards: int = 30
+    replica_count: int = 1
+    replication: ReplicationStrategy = ReplicationStrategy.PRIMARY_ONLY
+    request_rate: float = 4.0
+    settle: float = 60.0
+    failover_grace: float = 30.0
+    zk_session_timeout: float = 10.0
+    restart_hint: float = 60.0
+    expectations: Expectations = field(default_factory=Expectations)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one (scenario, arm, seed) run."""
+
+    name: str
+    arm: str
+    seed: int
+    sim_duration: float
+    digest: str
+    records: int
+    violations: List[Dict[str, Any]]
+    faults: int
+    recovers: int
+    requests_sent: int
+    requests_failed: int
+    ready_fraction: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def headline(self) -> Dict[str, Any]:
+        return {"scenario": self.name, "arm": self.arm, "seed": self.seed,
+                "digest": self.digest, "records": self.records,
+                "violations": self.violations, "faults": self.faults,
+                "recovers": self.recovers,
+                "requests_sent": self.requests_sent,
+                "requests_failed": self.requests_failed,
+                "ready_fraction": self.ready_fraction}
+
+
+# -- action executors ---------------------------------------------------------
+
+ActionFn = Callable[["ScenarioRun", FaultAction], None]
+ACTIONS: Dict[str, ActionFn] = {}
+
+
+def action(kind: str) -> Callable[[ActionFn], ActionFn]:
+    def register(fn: ActionFn) -> ActionFn:
+        ACTIONS[kind] = fn
+        return fn
+    return register
+
+
+@action("crash_machine")
+def _crash_machine(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[0])
+    machine = run.machine_at(region, act.param("index", 0))
+    run.crash_machines(region, [machine.machine_id], "crash_machine",
+                       act.duration or 30.0)
+
+
+@action("crash_rack")
+def _crash_rack(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[0])
+    anchor = run.machine_at(region, act.param("index", 0))
+    machine_ids = sorted({c.machine.machine_id
+                          for c in run.app_containers(region)
+                          if c.machine.rack == anchor.rack})
+    run.crash_machines(region, machine_ids, "crash_rack",
+                       act.duration or 60.0)
+
+
+@action("crash_region")
+def _crash_region(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[0])
+    machine_ids = sorted({c.machine.machine_id
+                          for c in run.app_containers(region)})
+    run.crash_machines(region, machine_ids, "crash_region",
+                       act.duration or 120.0)
+
+
+@action("isolate_region")
+def _isolate_region(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[-1])
+    fault = run.new_fault("isolate_region", region)
+    pairs = run.cluster.network.isolate_region(region)
+    run.emit_fault(fault, "isolate_region", region)
+
+    def heal() -> None:
+        run.cluster.network.heal_region(region, pairs)
+        run.emit_recover(fault, "isolate_region", region)
+
+    run.engine.call_after(act.duration or 90.0, heal)
+
+
+@action("partition_pair")
+def _partition_pair(run: "ScenarioRun", act: FaultAction) -> None:
+    region_a = act.param("a", run.spec.regions[0])
+    region_b = act.param("b", run.spec.regions[1])
+    target = f"{region_a}|{region_b}"
+    fault = run.new_fault("partition", target)
+    run.cluster.network.partition(region_a, region_b)
+    run.emit_fault(fault, "partition", target)
+
+    def heal() -> None:
+        run.cluster.network.heal_partition(region_a, region_b)
+        run.emit_recover(fault, "partition", target)
+
+    run.engine.call_after(act.duration or 90.0, heal)
+
+
+@action("zk_expire")
+def _zk_expire(run: "ScenarioRun", act: FaultAction) -> None:
+    """Kill the ZooKeeper sessions of the targeted servers; they
+    reconnect (new session + fresh ephemeral) after ``reconnect_after``.
+    """
+    region = act.param("region")
+    count = act.param("count")
+    servers = [run.app.runtime.servers[address]
+               for address in run.app.runtime.running_addresses()]
+    if region is not None:
+        servers = [s for s in servers if s.region == region]
+    if count is not None:
+        servers = servers[:count]
+    addresses = [s.address for s in servers]
+    target = region or "all"
+    fault = run.new_fault("zk_expire", target)
+    run.emit_fault(fault, "zk_expire", target, addresses)
+    for server in servers:
+        run.cluster.zookeeper.expire_session(server.session.session_id)
+
+    def reconnect() -> None:
+        for address in addresses:
+            server = run.app.runtime.server_at(address)
+            if server is not None:
+                server.reconnect_zk()
+        run.emit_recover(fault, "zk_expire", target)
+
+    run.engine.call_after(act.param("reconnect_after", 5.0), reconnect)
+
+
+@action("maintenance")
+def _maintenance(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[0])
+    machine = run.machine_at(region, act.param("index", 0))
+    impact = MaintenanceImpact[act.param("impact", "RUNTIME_STATE_LOSS")]
+    notice = act.param("notice", 60.0)
+    window = act.duration or 120.0
+    start = run.engine.now + notice
+    run.cluster.twines[region].schedule_maintenance(
+        [machine.machine_id], start, start + window, impact)
+    run.emit_planned("maintenance", machine.machine_id,
+                     {"impact": impact.value, "start": start,
+                      "end": start + window})
+
+
+@action("rolling_upgrade")
+def _rolling_upgrade(run: "ScenarioRun", act: FaultAction) -> None:
+    region = act.param("region", run.spec.regions[0])
+    concurrency = act.param("concurrency",
+                            max(1, run.spec.servers_per_region // 2))
+    restart = act.param("restart_duration", 30.0)
+    try:
+        run.cluster.twines[region].start_rolling_upgrade(
+            run.app.spec.name, max_concurrent=concurrency,
+            restart_duration=restart)
+    except RuntimeError:
+        # No running containers (e.g. mid-outage): a legal no-op, but
+        # leave an audit record so the journal explains the quiet.
+        run.emit_planned("rolling_upgrade_skipped", region, {})
+        return
+    run.emit_planned("rolling_upgrade", region,
+                     {"concurrency": concurrency, "restart": restart})
+
+
+@action("crash_burst")
+def _crash_burst(run: "ScenarioRun", act: FaultAction) -> None:
+    """A Poisson crash storm over one region's app machines, stopped
+    mid-flight — the regression bed for the injector's stop()/overlap
+    semantics (deferred crashes, completed in-flight repairs)."""
+    region = act.param("region", run.spec.regions[0])
+    twine = run.cluster.twines[region]
+    targets = sorted({c.machine.machine_id
+                      for c in run.app_containers(region)})
+    injector: CrashInjector[str] = CrashInjector(
+        engine=run.engine,
+        rng=substream(run.seed, "chaos", run.spec.name, "burst",
+                      repr(act.at)),
+        mtbf=act.param("mtbf", 60.0),
+        repair_time=act.param("repair", 25.0),
+        on_fail=lambda mid: twine.fail_machine(mid),
+        on_repair=lambda mid: twine.repair_machine(mid),
+        down_check=lambda mid: not twine.machine_up(mid),
+        tracer=run.tracer,
+    )
+    injector.start(targets)
+    run.engine.call_after(act.duration or 120.0, injector.stop)
+
+
+@action("orchestrator_failover")
+def _orchestrator_failover(run: "ScenarioRun", act: FaultAction) -> None:
+    """Kill the control plane and bring up its successor (§6.2): the new
+    incarnation restores the assignment table from ZooKeeper."""
+    fault = run.new_fault("orchestrator_failover", run.app.spec.name)
+    run.emit_fault(fault, "orchestrator_failover", run.app.spec.name)
+    old = run.app.orchestrator
+    old.stop()
+    successor = old.successor()
+    successor.start()
+    run.app.orchestrator = successor
+    if run.app.controller is not None:
+        run.app.controller.rebind(successor)
+    run.emit_recover(fault, "orchestrator_failover", run.app.spec.name)
+
+
+@action("probe")
+def _probe(run: "ScenarioRun", act: FaultAction) -> None:
+    """Assert world state mid-scenario; failures become journal records
+    that :meth:`TraceChecker.check_fault_recovery` turns into violations.
+    """
+    check = act.param("check", "ready_fraction")
+    ok = False
+    detail = ""
+    if check in ("machine_down", "machine_up"):
+        region = act.param("region", run.spec.regions[0])
+        machine = run.machine_at(region, act.param("index", 0))
+        up = run.cluster.twines[region].machine_up(machine.machine_id)
+        ok = up if check == "machine_up" else not up
+        detail = f"{machine.machine_id} up={up}"
+    elif check == "ready_fraction":
+        minimum = act.param("min", 0.9)
+        fraction = run.app.ready_fraction()
+        ok = fraction >= minimum
+        detail = f"ready={fraction:.3f} min={minimum}"
+    elif check == "server_alive":
+        region = act.param("region", run.spec.regions[0])
+        alive = [a for a, r in run.app.orchestrator.servers.items()
+                 if r.alive and r.machine.region == region]
+        minimum = act.param("min_servers", run.spec.servers_per_region)
+        ok = len(alive) >= minimum
+        detail = f"alive={len(alive)} min={minimum}"
+    else:
+        detail = f"unknown check {check!r}"
+    run.emit_probe(ok, check, detail)
+
+
+# -- the runner ---------------------------------------------------------------
+
+class ScenarioRun:
+    """One executing scenario: the harness plus chaos bookkeeping."""
+
+    def __init__(self, spec: ScenarioSpec, arm: str, seed: int,
+                 obs: Observability) -> None:
+        if arm not in ARMS:
+            raise KeyError(f"unknown arm {arm!r}; known: {sorted(ARMS)}")
+        self.spec = spec
+        self.arm = arm
+        self.seed = seed
+        self.obs = obs
+        self.tracer = obs.tracer
+        self._fault_counter = 0
+        preset = ARMS[arm]
+
+        self.cluster = SimCluster.build(
+            regions=spec.regions,
+            machines_per_region=spec.machines_per_region,
+            seed=seed,
+            zk_session_timeout=spec.zk_session_timeout,
+            obs=obs,
+        )
+        self.engine = self.cluster.engine
+        app_spec = AppSpec(
+            name=f"chaos-{spec.name}",
+            shards=uniform_shards(spec.shards, key_space=spec.shards * 16,
+                                  replica_count=spec.replica_count),
+            replication=spec.replication,
+            max_concurrent_container_ops=max(
+                1, spec.servers_per_region // 2),
+        )
+        self.app: DeployedApp = deploy_app(
+            self.cluster, app_spec,
+            {region: spec.servers_per_region for region in spec.regions},
+            orchestrator_config=OrchestratorConfig(
+                graceful_migration=preset["graceful"],
+                failover_grace=spec.failover_grace,
+            ),
+            controller_config=SMTaskControllerConfig(
+                restart_duration_hint=spec.restart_hint),
+            with_task_controller=preset["with_task_controller"],
+            settle=spec.settle,
+        )
+        # NETWORK_LOSS maintenance and machine transitions reach the app
+        # servers' endpoints (the harness leaves this unwired because the
+        # runtime does not exist when Twines are built).
+        for region in spec.regions:
+            self.cluster.twines[region].set_machine_network_hook(
+                self.app.runtime.set_machine_network)
+        self.t0 = self.engine.now
+        self.recorder = WorkloadRecorder.with_bucket(30.0)
+
+    # -- target resolution ---------------------------------------------------
+
+    def app_containers(self, region: str) -> List[Container]:
+        return sorted((c for c in self.app.containers
+                       if c.machine.region == region),
+                      key=lambda c: c.container_id)
+
+    def machine_at(self, region: str, index: int) -> Machine:
+        containers = self.app_containers(region)
+        if not containers:
+            raise RuntimeError(f"no app containers in {region}")
+        return containers[index % len(containers)].machine
+
+    def running_addresses_on(self, machine_ids: List[str]) -> List[str]:
+        wanted = set(machine_ids)
+        return sorted(c.address for c in self.app.containers
+                      if c.machine.machine_id in wanted and c.running)
+
+    # -- chaos journal records -----------------------------------------------
+
+    def new_fault(self, kind: str, target: str) -> str:
+        self._fault_counter += 1
+        return f"{kind}:{target}:{self._fault_counter}"
+
+    def emit_fault(self, fault: str, kind: str, target: str,
+                   addresses: Optional[List[str]] = None) -> None:
+        args: Dict[str, Any] = {"fault": fault, "kind": kind,
+                                "target": target}
+        if addresses:
+            args["addresses"] = addresses
+        self.tracer.instant("chaos", "fault", None, args)
+
+    def emit_recover(self, fault: str, kind: str, target: str) -> None:
+        self.tracer.instant("chaos", "recover", None,
+                            {"fault": fault, "kind": kind, "target": target})
+
+    def emit_planned(self, kind: str, target: str,
+                     extra: Dict[str, Any]) -> None:
+        args = {"kind": kind, "target": target}
+        args.update(extra)
+        self.tracer.instant("chaos", "planned", None, args)
+
+    def emit_probe(self, ok: bool, check: str, detail: str) -> None:
+        self.tracer.instant("chaos", "probe", None,
+                            {"ok": ok, "check": check, "detail": detail})
+
+    # -- composite helpers used by executors ---------------------------------
+
+    def crash_machines(self, region: str, machine_ids: List[str],
+                       kind: str, repair_after: float) -> None:
+        """Crash a machine group under one fault id and repair it later.
+
+        The fault id doubles as the Twine down-hold cause, so an
+        overlapping maintenance window (or another fault) on the same
+        machine keeps it down until *every* holder releases it.
+        """
+        twine = self.cluster.twines[region]
+        target = ",".join(machine_ids)
+        fault = self.new_fault(kind, target)
+        addresses = self.running_addresses_on(machine_ids)
+        self.emit_fault(fault, kind, target, addresses)
+        for machine_id in machine_ids:
+            twine.fail_machine(machine_id, cause=fault)
+
+        def repair() -> None:
+            for machine_id in machine_ids:
+                twine.repair_machine(machine_id, cause=fault)
+            self.emit_recover(fault, kind, target)
+
+        self.engine.call_after(repair_after, repair)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self) -> None:
+        spec = self.spec
+        span = self.tracer.begin("chaos", "scenario", None,
+                                 {"scenario": spec.name, "arm": self.arm,
+                                  "seed": self.seed})
+        for act in spec.actions:
+            if act.kind not in ACTIONS:
+                raise KeyError(f"unknown fault action kind {act.kind!r}")
+            self.engine.call_at(
+                self.t0 + act.at,
+                lambda a=act: ACTIONS[a.kind](self, a))
+        if spec.request_rate > 0:
+            client = self.app.client(self.cluster, spec.regions[0],
+                                     attempts=1, rpc_timeout=0.5)
+            client.run_workload(
+                duration=spec.duration,
+                rate=lambda t: spec.request_rate,
+                key_fn=lambda rng: rng.randrange(spec.shards * 16),
+                recorder=self.recorder,
+                rng=substream(self.seed, "chaos", spec.name, "workload"),
+            )
+        self.cluster.run(until=self.t0 + spec.duration)
+        fraction = self.app.ready_fraction()
+        self.emit_probe(fraction >= spec.expectations.final_ready_min,
+                        "final_ready_fraction",
+                        f"ready={fraction:.3f} "
+                        f"min={spec.expectations.final_ready_min}")
+        self.tracer.end(span, None, {"outcome": "done"},
+                        track="chaos", name="scenario")
+
+
+def run_scenario(spec: ScenarioSpec, arm: str = "sm", seed: int = 0,
+                 capacity: int = 1 << 20,
+                 journal_path: Optional[str] = None) -> ScenarioResult:
+    """Execute one scenario under one arm and check every invariant.
+
+    Builds a private :class:`Observability` context (scenario journals
+    must not interleave with an ambient one), runs the timeline, then
+    replays the journal through the TraceChecker plus the scenario's
+    expectation bounds.  ``journal_path`` dumps the raw journal (JSONL)
+    for post-mortems.
+    """
+    obs = Observability(capacity=capacity)
+    with use(obs):
+        run = ScenarioRun(spec, arm, seed, obs)
+        run.execute()
+    if journal_path:
+        from ..obs.trace_export import write_jsonl
+        write_jsonl(obs.journal, journal_path)
+    checker = TraceChecker(obs.journal)
+    violations: List[Violation] = checker.check()
+    expectations = spec.expectations
+    if expectations.availability_bound is not None:
+        violations.extend(checker.check_availability(
+            expectations.availability_bound, until=run.engine.now))
+    if expectations.failover_bound is not None:
+        violations.extend(checker.check_failover_detection(
+            expectations.failover_bound))
+    faults = sum(1 for r in obs.journal
+                 if r.track == "chaos" and r.name == "fault")
+    recovers = sum(1 for r in obs.journal
+                   if r.track == "chaos" and r.name == "recover")
+    return ScenarioResult(
+        name=spec.name,
+        arm=arm,
+        seed=seed,
+        sim_duration=run.engine.now - run.t0,
+        digest=obs.journal.digest(),
+        records=obs.journal.appended,
+        violations=[v.as_dict() for v in violations],
+        faults=faults,
+        recovers=recovers,
+        requests_sent=run.recorder.sent,
+        requests_failed=run.recorder.failed,
+        ready_fraction=run.app.ready_fraction(),
+    )

@@ -84,12 +84,14 @@ class MaintenanceSchedule:
     def _maintain(self, machine_id: str) -> None:
         start = self.engine.now + 60.0  # one minute of advance notice
         end = start + self.maintenance_duration
-        machine = self.twine._machine(machine_id)
-        if not machine.up:
+        if not self.twine.machine_up(machine_id):
             return
-        containers_on_machine = sum(
-            1 for c in self.twine.all_containers()
-            if c.machine.machine_id == machine_id and c.running)
-        self.twine.schedule_maintenance([machine_id], start, end,
-                                        MaintenanceImpact.RUNTIME_STATE_LOSS)
-        self.stats.maintenance += containers_on_machine
+        # Count stops when the window actually opens, not at notice time:
+        # containers start/stop/move during the 60 s notice period, so a
+        # count taken now would misstate Fig 1's planned-event totals.
+        self.twine.schedule_maintenance(
+            [machine_id], start, end, MaintenanceImpact.RUNTIME_STATE_LOSS,
+            on_begin=lambda notice, stopped: self._count_maintenance(stopped))
+
+    def _count_maintenance(self, stopped: int) -> None:
+        self.stats.maintenance += stopped

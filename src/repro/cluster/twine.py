@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..sim.engine import Engine
 from .container import Container, ContainerState
@@ -89,6 +89,12 @@ class Twine:
         self._notice_counter = itertools.count()
         self._upgrades: Dict[str, RollingUpgrade] = {}
         self._negotiating = False
+        # Why each down machine is down ("crash", "maint:<notice_id>", ...).
+        # A machine transitions up<->down only on its first hold / last
+        # release, so an unplanned crash overlapping a maintenance window
+        # can neither double-stop containers nor end the window early.
+        self._down_holds: Dict[str, Set[str]] = {}
+        self._maint_on_begin: Dict[str, Callable[[MaintenanceNotice, int], None]] = {}
         # Statistics used by experiments.
         self.container_stops_planned = 0
         self.container_stops_unplanned = 0
@@ -99,6 +105,13 @@ class Twine:
         self._controller = controller
         if self._pending_ops and not self._negotiating:
             self._start_negotiation_loop()
+
+    def set_machine_network_hook(self,
+                                 hook: Optional[Callable[[str, bool], None]]
+                                 ) -> None:
+        """Install the machine→endpoints hook after construction (the
+        harness builds Twines before any application runtime exists)."""
+        self._machine_network_hook = hook
 
     # -- job management --------------------------------------------------------
 
@@ -329,39 +342,86 @@ class Twine:
 
     # -- unplanned failures -------------------------------------------------------
 
-    def fail_machine(self, machine_id: str) -> None:
-        """Unplanned machine crash: containers stop with no warning."""
+    def machine_up(self, machine_id: str) -> bool:
+        """Public liveness query (fault injectors must not poke ``_machine``)."""
+        return self._machine(machine_id).up
+
+    def fail_machine(self, machine_id: str, cause: str = "crash") -> int:
+        """Unplanned machine crash: containers stop with no warning.
+
+        ``cause`` labels the down-hold; a machine stays down until every
+        cause that took it down has released it (see
+        :meth:`repair_machine`).  Returns the number of containers this
+        crash stopped (0 if the machine was already down).
+        """
+        return self._take_machine_down(machine_id, cause, planned=False)
+
+    def repair_machine(self, machine_id: str, cause: str = "crash") -> bool:
+        """Release one down-hold; True when the machine actually came up."""
+        return self._release_machine(machine_id, cause)
+
+    def _take_machine_down(self, machine_id: str, cause: str,
+                           planned: bool) -> int:
+        """Add a down-hold; on the first hold, take the machine down.
+
+        Returns how many containers this call stopped (0 when the machine
+        was already down or the hold already existed).
+        """
         machine = self._machine(machine_id)
+        holds = self._down_holds.setdefault(machine_id, set())
+        if cause in holds:
+            return 0
+        holds.add(cause)
         if not machine.up:
-            return
+            # Already down for another cause; just remember ours.
+            return 0
         machine.up = False
         if self._machine_network_hook is not None:
             self._machine_network_hook(machine_id, False)
+        # Planned stops take only RUNNING containers (the launch in flight
+        # was never serving); a crash also kills STARTING ones.
+        states = ((ContainerState.RUNNING,) if planned
+                  else (ContainerState.RUNNING, ContainerState.STARTING))
+        stopped = 0
         for container in self._containers.values():
-            if container.machine is machine and container.state in (
-                    ContainerState.RUNNING, ContainerState.STARTING):
-                self.container_stops_unplanned += 1
+            if container.machine is machine and container.state in states:
+                stopped += 1
+                if planned:
+                    self.container_stops_planned += 1
+                else:
+                    self.container_stops_unplanned += 1
                 container.mark_stopped()
+        return stopped
 
-    def repair_machine(self, machine_id: str) -> None:
+    def _release_machine(self, machine_id: str, cause: str) -> bool:
+        """Drop a down-hold; on the last release, bring the machine up.
+
+        Returns True when the machine actually came back up.
+        """
         machine = self._machine(machine_id)
+        holds = self._down_holds.get(machine_id)
+        if holds is not None:
+            holds.discard(cause)
+            if holds:
+                return False  # someone else still holds it down
         if machine.up:
-            return
+            return False
         machine.up = True
         if self._machine_network_hook is not None:
             self._machine_network_hook(machine_id, True)
         for container in self._containers.values():
             if container.machine is machine and container.state is ContainerState.STOPPED:
                 self._start_container(container)
+        return True
 
-    def fail_region(self) -> None:
+    def fail_region(self, cause: str = "crash") -> None:
         """Whole-region outage (Fig 19's failure at t=90 s)."""
         for machine in self.machines:
-            self.fail_machine(machine.machine_id)
+            self.fail_machine(machine.machine_id, cause)
 
-    def repair_region(self) -> None:
+    def repair_region(self, cause: str = "crash") -> None:
         for machine in self.machines:
-            self.repair_machine(machine.machine_id)
+            self.repair_machine(machine.machine_id, cause)
 
     def _machine(self, machine_id: str) -> Machine:
         for machine in self.machines:
@@ -372,11 +432,17 @@ class Twine:
     # -- non-negotiable maintenance (§4.2) ----------------------------------------
 
     def schedule_maintenance(self, machine_ids: Sequence[str], start_time: float,
-                             end_time: float, impact: MaintenanceImpact) -> MaintenanceNotice:
+                             end_time: float, impact: MaintenanceImpact,
+                             on_begin: Optional[Callable[[MaintenanceNotice, int], None]] = None,
+                             ) -> MaintenanceNotice:
         """Announce and later execute a non-negotiable maintenance event.
 
         The controller gets the advance notice immediately; at ``start_time``
         the physical impact is applied and reverted at ``end_time``.
+        ``on_begin`` (if given) fires when the window actually opens, with
+        the notice and the number of containers the window stopped — the
+        accounting hook for schedulers that must not guess at notice time
+        what the fleet will look like 60 s later.
         """
         if start_time < self.engine.now:
             raise ValueError("maintenance cannot start in the past")
@@ -390,12 +456,15 @@ class Twine:
             impact=impact,
             region=self.region,
         )
+        if on_begin is not None:
+            self._maint_on_begin[notice.notice_id] = on_begin
         if self._controller is not None:
             self._controller.on_maintenance_notice(notice)
         self.engine.call_at(start_time, lambda: self._begin_maintenance(notice))
         return notice
 
     def _begin_maintenance(self, notice: MaintenanceNotice) -> None:
+        stopped = 0
         if notice.impact is MaintenanceImpact.NETWORK_LOSS:
             if self._machine_network_hook is not None:
                 for machine_id in notice.machine_ids:
@@ -405,25 +474,26 @@ class Twine:
         else:
             # Runtime/full state loss and machine loss all take the machine
             # down; they differ in what the *application* must rebuild.
+            # Each window holds the machine under its own notice id, so an
+            # overlapping crash (or second window) cannot double-stop
+            # containers or end this window early.
             for machine_id in notice.machine_ids:
-                machine = self._machine(machine_id)
-                if machine.up:
-                    machine.up = False
-                    if self._machine_network_hook is not None:
-                        self._machine_network_hook(machine_id, False)
-                    for container in self._containers.values():
-                        if (container.machine is machine
-                                and container.state is ContainerState.RUNNING):
-                            self.container_stops_planned += 1
-                            container.mark_stopped()
+                stopped += self._take_machine_down(
+                    machine_id, f"maint:{notice.notice_id}", planned=True)
             self.engine.call_at(notice.end_time,
                                 lambda: self._end_machine_maintenance(notice))
+        on_begin = self._maint_on_begin.pop(notice.notice_id, None)
+        if on_begin is not None:
+            on_begin(notice, stopped)
 
     def _end_network_maintenance(self, notice: MaintenanceNotice) -> None:
         if self._machine_network_hook is not None:
             for machine_id in notice.machine_ids:
-                self._machine_network_hook(machine_id, True)
+                # A machine that crashed during the window keeps its
+                # endpoints down; its repair will bring them back.
+                if self._machine(machine_id).up:
+                    self._machine_network_hook(machine_id, True)
 
     def _end_machine_maintenance(self, notice: MaintenanceNotice) -> None:
         for machine_id in notice.machine_ids:
-            self.repair_machine(machine_id)
+            self._release_machine(machine_id, f"maint:{notice.notice_id}")

@@ -1,6 +1,7 @@
 """Coordination store (simulated ZooKeeper)."""
 
 from .zookeeper import (
+    NoChildrenForEphemeralsError,
     NoNodeError,
     NodeExistsError,
     NotEmptyError,
@@ -13,6 +14,7 @@ from .zookeeper import (
 )
 
 __all__ = [
+    "NoChildrenForEphemeralsError",
     "NoNodeError",
     "NodeExistsError",
     "NotEmptyError",

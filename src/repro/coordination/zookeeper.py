@@ -41,6 +41,10 @@ class NotEmptyError(ZkError):
     pass
 
 
+class NoChildrenForEphemeralsError(ZkError):
+    """Real ZooKeeper forbids children under ephemeral znodes; so do we."""
+
+
 class SessionExpiredError(ZkError):
     pass
 
@@ -99,6 +103,13 @@ class Session:
         if not self.expired:
             self._expire()
 
+    def expire(self) -> None:
+        """Force-expire the session *now*, as if every heartbeat since the
+        last one had been lost (a GC pause, a dropped TCP connection).
+        The chaos layer's session-kill action; idempotent."""
+        if not self.expired:
+            self._expire()
+
     def _expire(self) -> None:
         if self.expired:
             return
@@ -129,6 +140,19 @@ class ZooKeeper:
                           timeout or self.default_session_timeout)
         self._sessions[session.session_id] = session
         return session
+
+    def expire_session(self, session_id: int) -> bool:
+        """Server-side session kill (the chaos layer's ZK-churn action).
+
+        Force-expires the session as if its heartbeats stopped arriving;
+        ephemerals vanish and watchers fire exactly as on a timeout.
+        Returns False when the session is unknown or already expired.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        session.expire()
+        return True
 
     def _session_expired(self, session_id: int) -> None:
         self._sessions.pop(session_id, None)
@@ -186,14 +210,23 @@ class ZooKeeper:
             if child is None:
                 if not make_parents:
                     raise NoNodeError("/" + "/".join(parts[:-1]))
+                if node.ephemeral_session is not None:
+                    raise NoChildrenForEphemeralsError(node.path)
                 child_path = (node.path.rstrip("/") + "/" + part)
                 child = _Znode(path=child_path, data=None)
                 node.children[part] = child
+                # Implicitly created parents are creations like any other:
+                # a CREATED watch armed on the intermediate path (via
+                # exists()) must fire, not just the parent's child watch.
+                self._fire(child_path, WatchEventType.CREATED, child_path)
                 self._fire(node.path, WatchEventType.CHILD_ADDED, child_path)
             node = child
         name = parts[-1]
         if name in node.children:
             raise NodeExistsError(path)
+        if node.ephemeral_session is not None:
+            raise NoChildrenForEphemeralsError(
+                f"{node.path} is ephemeral and cannot have children")
         child = _Znode(
             path=path,
             data=data,
@@ -240,9 +273,22 @@ class ZooKeeper:
             raise NoNodeError(path)
         if node.children and not recursive:
             raise NotEmptyError(path)
+        # Descendants are deleted depth-first, firing DELETED on each node
+        # and CHILD_REMOVED on its parent — silently discarding the
+        # subtree would leave their armed watches in ``_watches`` /
+        # ``_child_watches`` forever, never fired and never collected.
+        self._delete_descendants(node)
         del parent.children[name]
         self._fire(path, WatchEventType.DELETED, path)
         self._fire(parent.path, WatchEventType.CHILD_REMOVED, path)
+
+    def _delete_descendants(self, node: _Znode) -> None:
+        for name in sorted(node.children):
+            child = node.children[name]
+            self._delete_descendants(child)
+            del node.children[name]
+            self._fire(child.path, WatchEventType.DELETED, child.path)
+            self._fire(node.path, WatchEventType.CHILD_REMOVED, child.path)
 
     def children(self, path: str, watch: Optional[WatchCallback] = None) -> List[str]:
         node = self._require(path)

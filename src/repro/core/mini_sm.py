@@ -64,6 +64,23 @@ class Partition:
         self.orchestrator = orchestrator
         return orchestrator
 
+    def failover_orchestrator(self) -> Orchestrator:
+        """Kill the partition's orchestrator and bring up its successor.
+
+        Simulates a control-plane replica failover (§6.2): the old
+        incarnation stops (releasing its network address), and the new one
+        restores the assignment table from ZooKeeper — no shard moves.
+        """
+        if self.orchestrator is None:
+            raise RuntimeError(
+                f"partition {self.partition_id} has no orchestrator")
+        old = self.orchestrator
+        old.stop()
+        replacement = old.successor()
+        replacement.start()
+        self.orchestrator = replacement
+        return replacement
+
 
 class ApplicationManager:
     """Maps an application to one or more partitions (Figure 14).

@@ -24,7 +24,7 @@ from ..cluster.topology import Topology
 from ..coordination.zookeeper import WatchEvent, ZooKeeper
 from ..discovery.service_discovery import ServiceDiscovery
 from ..metrics.timeseries import Counter
-from ..obs import get_default
+from ..obs import NO_TRACER, get_default
 from ..sim.engine import Delay, Engine, Process, Signal, Wait, every
 from ..sim.network import Network
 from ..solver.local_search import OPTIMIZED, SearchConfig
@@ -143,6 +143,7 @@ class Orchestrator:
         if self._started:
             raise RuntimeError("orchestrator already started")
         self._started = True
+        self.table.tracer = self._tracer  # re-attach after a stop()
         for path in (self._servers_root, self._assignments_root):
             if not self.zookeeper.exists(path):
                 self.zookeeper.create(path, make_parents=True)
@@ -167,8 +168,24 @@ class Orchestrator:
             stopper()
         self._stoppers.clear()
         self._started = False
+        # In-flight migrations of this dead incarnation keep mutating its
+        # table; detach the tracer so their transitions don't interleave
+        # with the successor's journal — the successor's "reset" record
+        # marks the authoritative state handover.
+        self.table.tracer = NO_TRACER
         if self.network.has_endpoint(self.address):
             self.network.unregister(self.address)
+
+    def successor(self) -> "Orchestrator":
+        """Build the next control-plane incarnation (§6.2: the control
+        plane itself fails over).  Call :meth:`stop` on this instance
+        first — the successor registers the same network address and
+        restores the assignment table from ZooKeeper in :meth:`start`."""
+        return Orchestrator(
+            engine=self.engine, network=self.network,
+            zookeeper=self.zookeeper, discovery=self.discovery,
+            spec=self.spec, topology=self.topology, config=self.config,
+            rng=self.rng, obs=self.obs)
 
     def _restore_state(self) -> None:
         """Rebuild the assignment table from the §3.2 persistent state."""
@@ -178,6 +195,12 @@ class Orchestrator:
         if self.table.all_replicas():
             return  # fresh-deploy path already populated the table
         data = self.zookeeper.get(path) or {}
+        if self._tracer.enabled:
+            # New incarnation, new replica ids: tell trace consumers the
+            # app's replica state starts over, or the checker would see
+            # the predecessor's READY primaries next to ours.
+            self._tracer.instant("shards", "transition", None,
+                                 {"app": self.spec.name, "op": "reset"})
         self.table.resume_versions_from(int(data.get("version", 0)))
         for entry in data.get("replicas", []):
             state = ReplicaState(entry["state"])
@@ -258,6 +281,8 @@ class Orchestrator:
         """The server is gone for good: its replicas are lost; recreate
         them elsewhere ("the unused capacity of the application's running
         containers serves as cold standbys", §2.2.3)."""
+        if not self._started:
+            return  # a stopped incarnation's pending check must not act
         lost = self.table.on_address(address)
         if self._tracer.enabled:
             self._tracer.instant(
@@ -285,6 +310,8 @@ class Orchestrator:
 
     def _flush_publish(self) -> None:
         self._publish_scheduled = False
+        if not self._started:
+            return  # stopped with a publish scheduled: successor owns it
         if not self._dirty:
             return
         self._dirty = False
@@ -397,7 +424,7 @@ class Orchestrator:
     # -- emergency placement ---------------------------------------------------------------
 
     def _emergency_tick(self) -> None:
-        if self._emergency_running:
+        if self._emergency_running or not self._started:
             return
         plan = self.allocator.emergency_plan(self.table, self.servers,
                                              self.engine.now)

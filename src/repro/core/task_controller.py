@@ -66,6 +66,16 @@ class SMTaskController:
         self.approved_total = 0
         self.delayed_total = 0
 
+    def rebind(self, orchestrator: Orchestrator) -> None:
+        """Point the controller at a successor orchestrator incarnation.
+
+        Registered Twines keep their controller reference across a
+        control-plane failover; only the orchestrator behind it changes.
+        In-flight op bookkeeping survives — the ops are still running.
+        """
+        self.orchestrator = orchestrator
+        self.spec = orchestrator.spec
+
     # -- the TaskControl protocol ---------------------------------------------------
 
     def review_ops(self, ops: Sequence[ContainerOp]) -> List[ContainerOp]:

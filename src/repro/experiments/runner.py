@@ -76,6 +76,25 @@ def fig23_task(**kwargs: Any) -> Dict[str, Any]:
     return {"max_p99": result.max_p99(), "total_moves": result.total_moves()}
 
 
+def chaos_task(scenario: str, arm: str = "sm", seed: int = 0,
+               capacity: int = 1 << 20,
+               journal_path: Optional[str] = None) -> Dict[str, Any]:
+    """Run one chaos scenario under one arm (see :mod:`repro.chaos`).
+
+    The headline carries the journal digest (the determinism
+    fingerprint) and every oracle violation; ``journal_path`` optionally
+    dumps the raw journal for post-mortems.
+    """
+    from repro.chaos import get, run_scenario
+
+    result = run_scenario(get(scenario), arm=arm, seed=seed,
+                          capacity=capacity, journal_path=journal_path)
+    headline = result.headline()
+    if journal_path:
+        headline["journal_path"] = journal_path
+    return headline
+
+
 #: The default sweep: every sim-heavy figure, Figure 17 split per arm so
 #: the three arms run concurrently under the pool.
 DEFAULT_TASKS: List[Dict[str, Any]] = [

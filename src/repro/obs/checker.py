@@ -76,6 +76,7 @@ class TraceChecker:
         violations.extend(self._check_single_completion())
         violations.extend(self._check_primary_uniqueness())
         violations.extend(self._check_migration_protocol())
+        violations.extend(self.check_fault_recovery())
         return violations
 
     def assert_clean(self) -> None:
@@ -121,6 +122,16 @@ class TraceChecker:
             if record.kind != KIND_INSTANT or record.track != "shards":
                 continue
             args = record.args or {}
+            if args.get("op") == "reset":
+                # Control-plane failover: a successor orchestrator starts a
+                # fresh replica-id space for the app.  Its restored READY
+                # primaries must not be compared against the dead
+                # incarnation's.
+                app = args.get("app", "")
+                for key in [k for k in shards if k[0] == app]:
+                    shards[key].clear()
+                    flagged.discard(key)
+                continue
             key = (args.get("app", ""), args.get("shard", ""))
             replicas = shards.setdefault(key, {})
             replica_id = args.get("replica", "")
@@ -179,6 +190,174 @@ class TraceChecker:
                         f"in order",
                         record.seq))
         # Spans still open at the end of the run are in-flight, not torn.
+        return violations
+
+    # -- chaos invariants (fault audit trail, §8.1 robustness) ---------------
+
+    def check_fault_recovery(self) -> List[Violation]:
+        """Every injected fault must have a matching recovery record.
+
+        The chaos engine journals one ``chaos/fault`` instant per injected
+        fault (keyed by a unique ``fault`` id) and one ``chaos/recover``
+        when it reverts it.  A fault with no recovery means the scenario
+        left the world broken (e.g. a stopped injector stranding a machine
+        down); a recovery with no fault means a revert double-applied.
+        Failed in-scenario probes (``chaos/probe`` with ``ok: False``)
+        are surfaced here too.  Journals without a chaos track pass
+        trivially.
+        """
+        violations: List[Violation] = []
+        pending: Dict[str, Any] = {}  # fault id -> fault record
+        for record in self.journal:
+            if record.kind != KIND_INSTANT or record.track != "chaos":
+                continue
+            args = record.args or {}
+            if record.name == "fault":
+                fault = args.get("fault", "")
+                if fault in pending:
+                    violations.append(Violation(
+                        "fault-recovery",
+                        f"fault {fault!r} injected twice without a recovery "
+                        f"in between",
+                        record.seq))
+                pending[fault] = record
+            elif record.name == "recover":
+                fault = args.get("fault", "")
+                if pending.pop(fault, None) is None:
+                    violations.append(Violation(
+                        "fault-recovery",
+                        f"recovery for {fault!r} without a matching fault "
+                        f"(double-applied revert?)",
+                        record.seq))
+            elif record.name == "probe" and args.get("ok") is False:
+                violations.append(Violation(
+                    "fault-recovery",
+                    f"scenario probe failed at t={record.time!r}: "
+                    f"{args.get('check', '?')} — {args.get('detail', '')}",
+                    record.seq))
+        for fault, record in pending.items():
+            violations.append(Violation(
+                "fault-recovery",
+                f"fault {fault!r} injected at t={record.time!r} has no "
+                f"recovery record",
+                record.seq))
+        return violations
+
+    def check_failover_detection(self, bound: float) -> List[Violation]:
+        """Each crashed server must recover or fail over within ``bound``.
+
+        ``chaos/fault`` records carry the application-server addresses the
+        fault took down (``addresses``); within ``bound`` seconds of the
+        fault, each must either come back (the fault's ``recover``) or
+        receive an ``orchestrator/failover`` instant (replicas recreated
+        elsewhere).  ``bound`` should cover detection (the ZK session
+        timeout) plus the orchestrator's failover grace.
+        """
+        faults: List[Tuple[int, float, str, List[str]]] = []
+        recovers: Dict[str, float] = {}
+        failovers: List[Tuple[float, str]] = []
+        for record in self.journal:
+            if record.kind != KIND_INSTANT:
+                continue
+            args = record.args or {}
+            if record.track == "chaos":
+                if record.name == "fault" and args.get("addresses"):
+                    faults.append((record.seq, record.time,
+                                   args.get("fault", ""),
+                                   list(args["addresses"])))
+                elif record.name == "recover":
+                    recovers.setdefault(args.get("fault", ""), record.time)
+            elif record.track == "orchestrator" and record.name == "failover":
+                failovers.append((record.time, args.get("address", "")))
+        violations: List[Violation] = []
+        for seq, start, fault, addresses in faults:
+            recover_time = recovers.get(fault)
+            recovered = (recover_time is not None
+                         and recover_time - start <= bound)
+            for address in addresses:
+                if recovered:
+                    continue
+                if any(start <= t <= start + bound and a == address
+                       for t, a in failovers):
+                    continue
+                violations.append(Violation(
+                    "failover-detection",
+                    f"{address} went down with fault {fault!r} at "
+                    f"t={start!r} and neither recovered nor failed over "
+                    f"within {bound}s",
+                    seq))
+        return violations
+
+    def check_availability(self, bound: float,
+                           until: Optional[float] = None) -> List[Violation]:
+        """No shard may lack a READY primary for longer than ``bound``.
+
+        Replays the ``shards`` transition records and measures, per
+        (app, shard), every interval with no READY primary that *starts
+        after the shard first became available* (initial placement is
+        deploy latency, not an outage).  An interval still open at
+        ``until`` (default: the last journal timestamp) counts against
+        the bound too.
+        """
+        # (app, shard) -> replica_id -> (role, state)
+        shards: Dict[Tuple[str, str], Dict[str, Tuple[str, str]]] = {}
+        gap_start: Dict[Tuple[str, str], float] = {}
+        ever_ready: Dict[Tuple[str, str], bool] = {}
+        violations: List[Violation] = []
+        flagged: set = set()
+        last_time = 0.0
+
+        def has_ready_primary(key: Tuple[str, str]) -> bool:
+            return any(role == "primary" and state == "ready"
+                       for role, state in shards.get(key, {}).values())
+
+        for record in self.journal:
+            last_time = record.time
+            if record.kind != KIND_INSTANT or record.track != "shards":
+                continue
+            args = record.args or {}
+            if args.get("op") == "reset":
+                app = args.get("app", "")
+                for key in [k for k in shards if k[0] == app]:
+                    shards[key].clear()
+                    # The restore re-adds replicas at the same instant; a
+                    # real gap only opens if it fails to.
+                    if ever_ready.get(key) and key not in gap_start:
+                        gap_start[key] = record.time
+                continue
+            key = (args.get("app", ""), args.get("shard", ""))
+            replicas = shards.setdefault(key, {})
+            replica_id = args.get("replica", "")
+            was_ready = has_ready_primary(key)
+            if args.get("op") == "drop":
+                replicas.pop(replica_id, None)
+            else:
+                replicas[replica_id] = (args.get("role", ""),
+                                        args.get("state", ""))
+            now_ready = has_ready_primary(key)
+            if now_ready:
+                ever_ready[key] = True
+                start = gap_start.pop(key, None)
+                if (start is not None and record.time - start > bound
+                        and key not in flagged):
+                    flagged.add(key)
+                    violations.append(Violation(
+                        "availability",
+                        f"shard {key[1]} of {key[0]} had no READY primary "
+                        f"for {record.time - start:.3f}s (t={start!r}.."
+                        f"{record.time!r}), bound {bound}s",
+                        record.seq))
+            elif was_ready and key not in gap_start:
+                gap_start[key] = record.time
+        end = until if until is not None else last_time
+        for key, start in gap_start.items():
+            if ever_ready.get(key) and end - start > bound and key not in flagged:
+                violations.append(Violation(
+                    "availability",
+                    f"shard {key[1]} of {key[0]} had no READY primary from "
+                    f"t={start!r} to the end of the run "
+                    f"({end - start:.3f}s > {bound}s)",
+                    -1))
         return violations
 
     # -- cross-check: final map vs transition records ------------------------

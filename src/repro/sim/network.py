@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs.tracer import NO_TRACER
 from .engine import Engine, Signal
@@ -385,6 +385,40 @@ class Network:
 
     def heal_partition(self, region_a: str, region_b: str) -> None:
         self._partitions.discard(frozenset((region_a, region_b)))
+
+    def isolate_region(self, region: str) -> List[Tuple[str, str]]:
+        """Partition ``region`` from every other region in the latency
+        model *and* every region with a registered endpoint.
+
+        Returns the (region, other) pairs actually added so the caller
+        (the chaos engine) can heal exactly what it cut — an existing
+        partition someone else installed is not returned and therefore
+        not healed by :meth:`heal_region`.
+        """
+        others = set(self.latency.regions())
+        others.update(e.region for e in self._endpoints.values())
+        others.discard(region)
+        added: List[Tuple[str, str]] = []
+        for other in sorted(others):
+            pair = frozenset((region, other))
+            if pair not in self._partitions:
+                self._partitions.add(pair)
+                added.append((region, other))
+        return added
+
+    def heal_region(self, region: str,
+                    pairs: Optional[List[Tuple[str, str]]] = None) -> None:
+        """Heal partitions touching ``region``.
+
+        With ``pairs`` (as returned by :meth:`isolate_region`) only those
+        are healed; without, every partition involving the region goes.
+        """
+        if pairs is not None:
+            for a, b in pairs:
+                self.heal_partition(a, b)
+            return
+        for pair in [p for p in self._partitions if region in p]:
+            self._partitions.discard(pair)
 
     def _partitioned(self, region_a: str, region_b: str) -> bool:
         if not self._partitions:

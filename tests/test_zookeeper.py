@@ -3,6 +3,7 @@
 import pytest
 
 from repro.coordination.zookeeper import (
+    NoChildrenForEphemeralsError,
     NoNodeError,
     NodeExistsError,
     NotEmptyError,
@@ -206,3 +207,134 @@ class TestWatches:
         assert events == []  # not yet delivered
         engine.run()
         assert len(events) == 1
+
+
+class TestImplicitParentWatches:
+    """create(make_parents=True) must treat implicit parents as real
+    creations: CREATED on the new path, CHILD_ADDED on its parent.
+    Silently materialising them left exists-watches armed forever."""
+
+    def test_implicit_parent_fires_created_watch(self, engine, zk):
+        events = []
+        assert not zk.exists("/a/b", watch=events.append)
+        zk.create("/a/b/c", make_parents=True)
+        engine.run()
+        assert [e.type for e in events] == [WatchEventType.CREATED]
+        assert events[0].path == "/a/b"
+
+    def test_implicit_parent_fires_child_added(self, engine, zk):
+        zk.create("/a")
+        events = []
+        zk.children("/a", watch=events.append)
+        zk.create("/a/b/c", make_parents=True)
+        engine.run()
+        assert events[0].type is WatchEventType.CHILD_ADDED
+        assert events[0].path == "/a/b"
+
+    def test_orchestrator_bootstrap_pattern(self, engine, zk):
+        """The orchestrator arms an exists-watch on the servers root
+        before any server registers; the first server's
+        make_parents=True liveness create must wake it."""
+        root = "/sm/app/servers"
+        events = []
+        session = zk.create_session()
+        assert not zk.exists(root, watch=events.append)
+        zk.create(f"{root}/server1", ephemeral=True, session=session,
+                  make_parents=True)
+        engine.run()
+        assert [e.type for e in events] == [WatchEventType.CREATED]
+        assert events[0].path == root
+
+
+class TestEphemeralConstraints:
+    def test_child_under_ephemeral_rejected(self, zk):
+        session = zk.create_session()
+        zk.create("/e", ephemeral=True, session=session)
+        with pytest.raises(NoChildrenForEphemeralsError):
+            zk.create("/e/kid")
+
+    def test_implicit_parents_under_ephemeral_rejected(self, zk):
+        session = zk.create_session()
+        zk.create("/e", ephemeral=True, session=session)
+        with pytest.raises(NoChildrenForEphemeralsError):
+            zk.create("/e/a/b", make_parents=True)
+        assert not zk.exists("/e/a")
+
+
+class TestRecursiveDeleteWatches:
+    def test_descendants_fire_deleted_watches(self, engine, zk):
+        zk.create("/a/b/c", make_parents=True)
+        zk.create("/a/d", make_parents=True)
+        deleted = []
+        for path in ("/a/b", "/a/b/c", "/a/d"):
+            zk.get(path, watch=deleted.append)
+        zk.delete("/a", recursive=True)
+        engine.run()
+        assert sorted(e.path for e in deleted) == ["/a/b", "/a/b/c", "/a/d"]
+        assert all(e.type is WatchEventType.DELETED for e in deleted)
+
+    def test_descendants_fire_child_removed_depth_first(self, engine, zk):
+        zk.create("/a/b/c", make_parents=True)
+        removed = []
+        zk.children("/a/b", watch=removed.append)
+        zk.children("/a", watch=removed.append)
+        zk.delete("/a", recursive=True)
+        engine.run()
+        # Depth-first: /a/b loses c before /a loses b.
+        assert [e.path for e in removed] == ["/a/b/c", "/a/b"]
+        assert all(e.type is WatchEventType.CHILD_REMOVED for e in removed)
+
+    def test_no_armed_watches_leak(self, engine, zk):
+        zk.create("/a/b/c", make_parents=True)
+        zk.get("/a/b/c", watch=lambda e: None)
+        zk.children("/a/b", watch=lambda e: None)
+        zk.delete("/a", recursive=True)
+        engine.run()
+        assert "/a/b/c" not in zk._watches
+        assert "/a/b" not in zk._child_watches
+
+
+class TestSessionKillSemantics:
+    def test_close_then_timer_deletes_exactly_once(self, engine, zk):
+        """The closed session's expiry timer must not fire again: a
+        same-named node created later belongs to its new owner."""
+        session = zk.create_session(timeout=5.0)
+        zk.create("/e", ephemeral=True, session=session)
+        session.close()
+        assert not zk.exists("/e")
+        zk.create("/e", data="new-owner")
+        engine.run(until=20.0)  # past the original expiry deadline
+        assert zk.get("/e") == "new-owner"
+
+    def test_expire_session_deletes_ephemerals_and_fires_watches(
+            self, engine, zk):
+        session = zk.create_session(timeout=1000.0)
+        zk.create("/e", ephemeral=True, session=session)
+        events = []
+        zk.get("/e", watch=events.append)
+        assert zk.expire_session(session.session_id)
+        assert session.expired
+        assert not zk.exists("/e")
+        engine.run()
+        assert [e.type for e in events] == [WatchEventType.DELETED]
+
+    def test_expire_session_idempotent(self, engine, zk):
+        session = zk.create_session()
+        assert zk.expire_session(session.session_id)
+        assert not zk.expire_session(session.session_id)
+        assert not zk.expire_session(99_999)
+
+    def test_heartbeat_after_forced_expiry_raises(self, engine, zk):
+        session = zk.create_session()
+        session.expire()
+        with pytest.raises(SessionExpiredError):
+            session.heartbeat()
+
+    def test_forced_expiry_only_removes_own_ephemerals(self, engine, zk):
+        session_a = zk.create_session()
+        session_b = zk.create_session()
+        zk.create("/a", ephemeral=True, session=session_a)
+        zk.create("/b", ephemeral=True, session=session_b)
+        zk.expire_session(session_a.session_id)
+        assert not zk.exists("/a")
+        assert zk.exists("/b")
