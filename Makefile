@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim bench-request profile trace-fig17
+.PHONY: test bench bench-quick bench-sim bench-request bench-scale profile trace-fig17
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -28,6 +28,14 @@ bench-sim:
 # two-region topology (the number DESIGN.md's fast-path section quotes).
 bench-request:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_request_path.py
+
+# Control-plane scale sweep (Figs 15/16 regime): shard counts
+# {10^4, 10^5, 10^6} x dirty counts x mini-SM pool sizes.  Records
+# publish ops/s, delta-vs-full wire bytes, and frontend routes/s into
+# BENCH_sim.json's `scale` section.  The 10^6 point takes a few minutes;
+# append `--smoke` flags via SCALE_ARGS for a quick pass.
+bench-scale:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_scale_bench.py $(SCALE_ARGS)
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

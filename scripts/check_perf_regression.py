@@ -41,6 +41,38 @@ def compare(report: dict, baseline: dict, threshold: float) -> list:
     return regressions
 
 
+def check_scale(report: dict, min_publish_ops: float,
+                min_frontend_speedup: float) -> list:
+    """Soft floors for the control-plane scale section.
+
+    Checks every swept point's best-case (smallest dirty count) publish
+    throughput and the frontend's indexed-vs-linear speedup.  Returns
+    GitHub-annotation warning strings.
+    """
+    warnings = []
+    section = report.get("scale")
+    if not section:
+        return ["::warning title=scale gate::report has no `scale` section "
+                "(run scripts/run_scale_bench.py)"]
+    for point in section.get("points", []):
+        shards = point.get("shards", 0)
+        sweep = point.get("publish_sweep", [])
+        if sweep:
+            best = max(s.get("publishes_per_sec", 0.0) for s in sweep)
+            if best < min_publish_ops:
+                warnings.append(
+                    f"::warning title=scale gate::{shards:,} shards: "
+                    f"control-plane publish {best:,.0f} ops/s below floor "
+                    f"{min_publish_ops:,.0f}")
+        speedup = point.get("frontend_speedup_vs_linear", 0.0)
+        if speedup < min_frontend_speedup:
+            warnings.append(
+                f"::warning title=scale gate::{shards:,} shards: frontend "
+                f"speedup {speedup:,.1f}x below floor "
+                f"{min_frontend_speedup:,.1f}x")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="warn when events/s regressed vs the baseline")
@@ -58,6 +90,14 @@ def main() -> int:
     parser.add_argument("--obs-threshold", type=float, default=0.02,
                         help="allowed events/s drop vs --obs-baseline "
                              "(default 0.02 = 2%%)")
+    parser.add_argument("--scale-min-publish-ops", type=float, default=None,
+                        help="also gate the report's `scale` section: floor "
+                             "for best-case control-plane publish ops/s at "
+                             "every swept shard count")
+    parser.add_argument("--scale-min-frontend-speedup", type=float,
+                        default=10.0,
+                        help="floor for the frontend indexed-vs-linear "
+                             "speedup (only with --scale-min-publish-ops)")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -94,7 +134,20 @@ def main() -> int:
                   f"within {args.obs_threshold:.0%} of the no-obs "
                   f"baseline")
 
-    if regressions or obs_regressions:
+    scale_warnings = []
+    if args.scale_min_publish_ops is not None:
+        scale_warnings = check_scale(report, args.scale_min_publish_ops,
+                                     args.scale_min_frontend_speedup)
+        for warning in scale_warnings:
+            print(warning)
+        if not scale_warnings:
+            points = len(report.get("scale", {}).get("points", []))
+            print(f"scale gate: {points} point(s) above "
+                  f"{args.scale_min_publish_ops:,.0f} publish ops/s and "
+                  f"{args.scale_min_frontend_speedup:,.1f}x frontend "
+                  f"speedup")
+
+    if regressions or obs_regressions or scale_warnings:
         return 1 if args.hard else 0
     return 0
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the control-plane scale benchmark (Figs 15/16 regime).
+
+Sweeps shard counts x dirty counts x mini-SM pool sizes, then merges the
+result into BENCH_sim.json as the ``scale`` section (the rest of the
+report — figures, baseline, totals — is left untouched).  Use
+``--scale-output`` to also write the section alone (CI uploads it as an
+artifact).
+
+    PYTHONPATH=src python scripts/run_scale_bench.py              # full sweep
+    PYTHONPATH=src python scripts/run_scale_bench.py --smoke      # CI-sized
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.scale_bench import (  # noqa: E402
+    DEFAULT_DIRTY_COUNTS,
+    DEFAULT_MINI_SM_COUNTS,
+    DEFAULT_SHARD_COUNTS,
+    run_sweep,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, nargs="+",
+                        default=list(DEFAULT_SHARD_COUNTS),
+                        help="shard counts to sweep")
+    parser.add_argument("--dirty", type=int, nargs="+",
+                        default=list(DEFAULT_DIRTY_COUNTS),
+                        help="shards mutated between steady-state publishes")
+    parser.add_argument("--mini-sms", type=int, nargs="+",
+                        default=list(DEFAULT_MINI_SM_COUNTS),
+                        help="mini-SM pool sizes to bin-pack into")
+    parser.add_argument("--rounds", type=int, default=30,
+                        help="timed publishes per dirty count")
+    parser.add_argument("--lookups", type=int, default=50_000,
+                        help="frontend route lookups per point")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small-N preset for CI (one 10^4 point)")
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        help="report to merge the scale section into")
+    parser.add_argument("--scale-output", default=None,
+                        help="also write the scale section alone here")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.shards = [10_000]
+        args.rounds = min(args.rounds, 10)
+        args.lookups = min(args.lookups, 20_000)
+
+    section = run_sweep(args.shards, dirty_counts=tuple(args.dirty),
+                        mini_sm_counts=tuple(args.mini_sms),
+                        rounds=args.rounds, route_lookups=args.lookups,
+                        seed=args.seed)
+    section["smoke"] = bool(args.smoke)
+
+    for point in section["points"]:
+        best = max(s["publishes_per_sec"] for s in point["publish_sweep"])
+        print(f"shards={point['shards']:>9,}  "
+              f"publish(dirty=1)={best:>10,.0f}/s  "
+              f"full={point['full_map_bytes']:>12,}B  "
+              f"delta(min)={point['publish_sweep'][0]['delta_bytes']:>8,}B  "
+              f"routes={point['frontend_routes_per_sec']:>12,.0f}/s  "
+              f"({point['frontend_speedup_vs_linear']:,.0f}x linear)")
+
+    report = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            report = json.load(handle)
+    report["scale"] = section
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"merged scale section into {args.output} "
+          f"({section['wall_seconds']}s)")
+
+    if args.scale_output:
+        with open(args.scale_output, "w") as handle:
+            json.dump({"scale": section}, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote scale section to {args.scale_output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -143,8 +143,11 @@ class ApplicationClient:
         self.router = ServiceRouter(engine, network, address,
                                     attempts=attempts, rpc_timeout=rpc_timeout,
                                     retry_backoff=retry_backoff)
+        # Delta-aware: steady-state deliveries carry a ShardMapDelta and
+        # the router evicts only changed shards' cached routes.
         self._subscription = discovery.subscribe(app_name,
-                                                 self.router.on_map_update)
+                                                 self.router.on_map_update,
+                                                 deltas=True)
 
     def close(self) -> None:
         self._subscription.cancel()

@@ -17,9 +17,10 @@ own :class:`~repro.core.orchestrator.Orchestrator` when run live.  The
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .orchestrator import Orchestrator
 from .spec import AppSpec, ShardSpec
@@ -183,48 +184,100 @@ def plan_partition_footprints(app_name: str, servers: int, shards: int,
 
 @dataclass
 class MiniSM:
-    """One control-plane shard: manages some partitions."""
+    """One control-plane shard: manages some partitions.
+
+    The aggregate counters are cached and maintained incrementally by
+    :meth:`add_partition` — the Fig 16 sweep assigns tens of thousands of
+    partitions, and per-call ``sum()`` made every registry assignment
+    O(partitions).  Appending to ``partitions`` directly still works (the
+    cache is keyed to the list length and recounts lazily); mutating an
+    already-added partition's counts in place does not, and nothing in
+    the codebase does.
+    """
 
     mini_sm_id: str
     partitions: List[Partition] = field(default_factory=list)
+    _totals: Optional[Tuple[int, int, int]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _counted: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def add_partition(self, partition: Partition) -> None:
+        servers, shards, replicas = self._ensure_totals()
+        self.partitions.append(partition)
+        self._totals = (servers + partition.server_count,
+                        shards + partition.shard_count,
+                        replicas + partition.replica_count)
+        self._counted = len(self.partitions)
+
+    def _ensure_totals(self) -> Tuple[int, int, int]:
+        if self._totals is None or self._counted != len(self.partitions):
+            servers = shards = replicas = 0
+            for partition in self.partitions:
+                servers += partition.server_count
+                shards += partition.shard_count
+                replicas += partition.replica_count
+            self._totals = (servers, shards, replicas)
+            self._counted = len(self.partitions)
+        return self._totals
 
     @property
     def server_count(self) -> int:
-        return sum(p.server_count for p in self.partitions)
+        return self._ensure_totals()[0]
 
     @property
     def shard_count(self) -> int:
-        return sum(p.shard_count for p in self.partitions)
+        return self._ensure_totals()[1]
 
     @property
     def replica_count(self) -> int:
-        return sum(p.replica_count for p in self.partitions)
+        return self._ensure_totals()[2]
 
 
 class PartitionRegistry:
     """Assigns partitions to mini-SMs (least-loaded by replica count),
-    growing the mini-SM pool when every one is at capacity."""
+    growing the mini-SM pool when every one is at capacity.
+
+    Selection runs off a lazy-deletion heap keyed by
+    ``(replica_count, creation_seq)``, so each assignment is O(log n)
+    instead of a full scan.  Because every mini-SM shares one capacity,
+    the least-loaded instance fits whenever *any* instance fits, and the
+    ``creation_seq`` tie-break reproduces the old ``min()`` semantics
+    (first-created wins among equally loaded) exactly.
+    """
 
     def __init__(self, replicas_per_mini_sm: int = 1_500_000) -> None:
         self.replicas_per_mini_sm = replicas_per_mini_sm
         self.mini_sms: List[MiniSM] = []
         self._counter = itertools.count()
         self._by_partition: Dict[str, MiniSM] = {}
+        # (replica_count, creation_seq, push_seq, mini_sm); an entry is
+        # stale — and discarded when it surfaces — if its count no longer
+        # matches the mini-SM's live count.  push_seq only breaks the
+        # (count, seq) tie between a mini-SM's own duplicate entries.
+        self._heap: List[Tuple[int, int, int, MiniSM]] = []
+        self._pushes = itertools.count()
 
     def _new_mini_sm(self) -> MiniSM:
-        mini_sm = MiniSM(mini_sm_id=f"mini-sm-{next(self._counter)}")
+        sequence = next(self._counter)
+        mini_sm = MiniSM(mini_sm_id=f"mini-sm-{sequence}")
         self.mini_sms.append(mini_sm)
+        heapq.heappush(self._heap,
+                       (0, sequence, next(self._pushes), mini_sm))
         return mini_sm
 
     def assign(self, partition: Partition) -> MiniSM:
-        candidates = [m for m in self.mini_sms
-                      if m.replica_count + partition.replica_count
-                      <= self.replicas_per_mini_sm]
-        if candidates:
-            target = min(candidates, key=lambda m: m.replica_count)
+        heap = self._heap
+        while heap and heap[0][0] != heap[0][3].replica_count:
+            heapq.heappop(heap)  # superseded by a fresher entry below
+        if heap and (heap[0][0] + partition.replica_count
+                     <= self.replicas_per_mini_sm):
+            count, sequence, _push, target = heap[0]
         else:
             target = self._new_mini_sm()
-        target.partitions.append(partition)
+            sequence = len(self.mini_sms) - 1
+        target.add_partition(partition)
+        heapq.heappush(heap, (target.replica_count, sequence,
+                              next(self._pushes), target))
         self._by_partition[partition.partition_id] = target
         return target
 
@@ -240,11 +293,15 @@ class ApplicationRegistry:
 
     def __init__(self) -> None:
         self._apps: Dict[str, List[Partition]] = {}
+        #: bumped on every registration; consumers (the Frontend) key
+        #: derived indexes to it for O(1) invalidation checks.
+        self.epoch = 0
 
     def register(self, app_name: str, partitions: Sequence[Partition]) -> None:
         if app_name in self._apps:
             raise ValueError(f"app {app_name!r} already registered")
         self._apps[app_name] = list(partitions)
+        self.epoch += 1
 
     def partitions_of(self, app_name: str) -> List[Partition]:
         try:
@@ -263,16 +320,38 @@ class Frontend:
                  partition_registry: PartitionRegistry) -> None:
         self.app_registry = app_registry
         self.partition_registry = partition_registry
+        # app -> {shard_id -> partition_id}, built lazily per app and
+        # dropped whenever the application registry's epoch moves (a
+        # registration may add partitions for any app).
+        self._shard_index: Dict[str, Dict[str, str]] = {}
+        self._index_epoch = -1
+
+    def _app_index(self, app_name: str) -> Dict[str, str]:
+        if self.app_registry.epoch != self._index_epoch:
+            self._shard_index.clear()
+            self._index_epoch = self.app_registry.epoch
+        index = self._shard_index.get(app_name)
+        if index is None:
+            index = {}
+            for partition in self.app_registry.partitions_of(app_name):
+                for shard in partition.spec.shards:
+                    # setdefault: first registered partition wins, like
+                    # the scan this index replaces.
+                    index.setdefault(shard.shard_id, partition.partition_id)
+            self._shard_index[app_name] = index
+        return index
 
     def route(self, app_name: str, shard_id: str) -> MiniSM:
-        """Which mini-SM manages this shard."""
-        for partition in self.app_registry.partitions_of(app_name):
-            try:
-                partition.spec.shard(shard_id)
-            except KeyError:
-                continue
-            return self.partition_registry.lookup(partition.partition_id)
-        raise KeyError(f"{app_name}: shard {shard_id!r} not in any partition")
+        """Which mini-SM manages this shard.
+
+        One dict hit against a lazily built shard → partition index
+        (invalidated on registration), not a scan over every partition's
+        spec."""
+        partition_id = self._app_index(app_name).get(shard_id)
+        if partition_id is None:
+            raise KeyError(
+                f"{app_name}: shard {shard_id!r} not in any partition")
+        return self.partition_registry.lookup(partition_id)
 
     def describe(self) -> List[Dict[str, object]]:
         """Read-service style summary of the whole control plane."""

@@ -315,8 +315,14 @@ class Orchestrator:
         if not self._dirty:
             return
         self._dirty = False
-        snapshot = self.table.snapshot()
-        self.discovery.publish(snapshot)
+        # Delta publishing: the table's dirty-shard bookkeeping becomes a
+        # ShardMapDelta so dissemination costs O(changed).  After a
+        # failover the successor's first delta chains onto the persisted
+        # version (resume_versions_from), so subscribers that saw that
+        # version apply it seamlessly; everyone else resyncs from the
+        # full snapshot riding alongside.
+        snapshot, delta = self.table.snapshot_delta()
+        self.discovery.publish(snapshot, delta=delta)
         self._write_all_assignments()
         self._persist_state()
         self.publishes += 1
@@ -324,7 +330,7 @@ class Orchestrator:
             self._tracer.instant(
                 "orchestrator", "publish", None,
                 {"app": self.spec.name, "version": snapshot.version,
-                 "entries": len(snapshot.entries)})
+                 "entries": snapshot.entry_count})
 
     def _write_assignments(self, address: str) -> None:
         name = address.replace("/", ":")

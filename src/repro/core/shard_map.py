@@ -5,17 +5,47 @@ shard lives in which container, with what role and lifecycle state) and
 periodically publishes an immutable, versioned :class:`ShardMap` snapshot
 through the service discovery system; application clients route with the
 snapshot, never with the live table (§3.2).
+
+Scale notes (§6, Figs 15/16): the paper runs O(10^5-10^6) shards per
+application, so both the storage and the publish path here are sized for
+a million entries:
+
+* A :class:`ShardMap` is stored *columnar* — one shared
+  :class:`AppKeyIndex` (shard ids + ``array('q')`` key bounds + the
+  sorted interval permutation, identical across every version of an
+  app's map) plus per-version chunked columns for the only fields that
+  change between publishes (primary address, secondaries tuple).
+  Unchanged chunks are shared between versions, so a steady-state
+  publish allocates O(changed + chunks) instead of O(shards).
+  :class:`ShardMapEntry` objects are materialized on demand behind the
+  same ``entry()`` / ``entries`` / ``routing_index()`` API.
+* :meth:`AssignmentTable.snapshot_delta` emits a versioned
+  :class:`ShardMapDelta` (changed entries + the base version it applies
+  to) straight from the table's dirty-shard bookkeeping, so
+  dissemination cost is proportional to *what changed*, not app size.
+  :meth:`ShardMap.apply_delta` is the subscriber-side inverse; a
+  delta-applied map is bit-identical to the corresponding full
+  snapshot (property-tested in ``tests/test_map_delta.py``).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs.tracer import NO_TRACER
 from .spec import AppSpec, ShardSpec
+
+#: Chunk geometry for the copy-on-write columns.  1024 entries per chunk
+#: keeps a 10^6-shard map at ~1000 chunks: patching one entry copies one
+#: 1024-slot list, and a new version shares the other ~999 chunks.
+_CHUNK_SHIFT = 10
+_CHUNK = 1 << _CHUNK_SHIFT
+_CHUNK_MASK = _CHUNK - 1
 
 
 class Role(str, Enum):
@@ -40,7 +70,7 @@ class ReplicaState(str, Enum):
     DROPPED = "dropped"
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaAssignment:
     """One shard replica pinned to one container (identity semantics)."""
 
@@ -55,7 +85,7 @@ class ReplicaAssignment:
         return self.state is ReplicaState.READY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardMapEntry:
     """Published routing info for one shard."""
 
@@ -71,35 +101,319 @@ class ShardMapEntry:
         return (self.primary,) + self.secondaries
 
 
-@dataclass(frozen=True)
-class ShardMap:
-    """Immutable versioned snapshot disseminated to clients."""
+@dataclass(frozen=True, slots=True)
+class ShardMapDelta:
+    """What changed between two consecutive map versions.
+
+    Applies on top of the map whose version is ``base_version`` and
+    produces the map at ``version``.  ``changed`` carries the full new
+    entry for every shard whose routing info changed; ``removed`` lists
+    shards no longer present (unused by the orchestrator, whose maps
+    always cover the spec, but part of the wire format for generality).
+    """
 
     app: str
     version: int
-    entries: Tuple[ShardMapEntry, ...]
+    base_version: int
+    changed: Tuple[ShardMapEntry, ...]
+    removed: Tuple[str, ...] = ()
+
+
+class AppKeyIndex:
+    """The static layout of an app's shard map: ids, key bounds, order.
+
+    Shard ids and key ranges come from the app spec and never change
+    between publishes, so every version of an app's map shares one index
+    — including the sorted interval permutation the router bisects, which
+    previously was re-derived per map version.
+    """
+
+    __slots__ = ("shard_ids", "key_lows", "key_highs", "index_of",
+                 "sorted_order", "sorted_lows")
+
+    def __init__(self, shard_ids: Sequence[str], key_lows: Iterable[int],
+                 key_highs: Iterable[int]) -> None:
+        self.shard_ids: Tuple[str, ...] = tuple(shard_ids)
+        self.key_lows = array("q", key_lows)
+        self.key_highs = array("q", key_highs)
+        self.index_of: Dict[str, int] = {
+            shard_id: i for i, shard_id in enumerate(self.shard_ids)}
+        lows = self.key_lows
+        self.sorted_order: Tuple[int, ...] = tuple(
+            sorted(range(len(self.shard_ids)), key=lows.__getitem__))
+        self.sorted_lows = array("q", (lows[i] for i in self.sorted_order))
+
+    @classmethod
+    def from_spec(cls, spec: AppSpec) -> "AppKeyIndex":
+        return cls([s.shard_id for s in spec.shards],
+                   (s.key_range.low for s in spec.shards),
+                   (s.key_range.high for s in spec.shards))
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+
+def _chunked(values: List) -> List[list]:
+    return [values[i:i + _CHUNK] for i in range(0, len(values), _CHUNK)]
+
+
+class ShardMap:
+    """Immutable-by-contract versioned snapshot disseminated to clients.
+
+    Columnar storage: the :class:`AppKeyIndex` (shared across versions)
+    plus chunked ``primaries`` / ``secondaries`` columns.  Entry objects
+    are materialized on demand; the legacy ``entries`` tuple and
+    ``routing_index()`` views are built lazily and cached for callers
+    that still want whole-map views (tests, exporters, the trace
+    checker).
+    """
+
+    __slots__ = ("app", "version", "_index", "_primaries", "_secondaries",
+                 "_entries", "_routing", "_entry_cache")
+
+    def __init__(self, app: str, version: int,
+                 entries: Sequence[ShardMapEntry] = (),
+                 *, key_index: Optional[AppKeyIndex] = None,
+                 primaries: Optional[List[list]] = None,
+                 secondaries: Optional[List[list]] = None) -> None:
+        self.app = app
+        self.version = version
+        self._entries: Optional[Tuple[ShardMapEntry, ...]] = None
+        self._routing = None
+        self._entry_cache: Dict[int, ShardMapEntry] = {}
+        if key_index is not None:
+            # Fast path: pre-built columns (snapshot / apply_delta).
+            self._index = key_index
+            self._primaries = primaries if primaries is not None else []
+            self._secondaries = secondaries if secondaries is not None else []
+            return
+        entries = tuple(entries)
+        self._index = AppKeyIndex(
+            [e.shard_id for e in entries],
+            (e.key_low for e in entries),
+            (e.key_high for e in entries))
+        intern: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+        self._primaries = _chunked([e.primary for e in entries])
+        self._secondaries = _chunked(
+            [intern.setdefault(e.secondaries, e.secondaries)
+             for e in entries])
+        self._entries = entries
+
+    # -- core accessors ----------------------------------------------------
+
+    @property
+    def key_index(self) -> AppKeyIndex:
+        return self._index
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._index.shard_ids)
+
+    def __len__(self) -> int:
+        return len(self._index.shard_ids)
+
+    def primary_at(self, index: int) -> Optional[str]:
+        return self._primaries[index >> _CHUNK_SHIFT][index & _CHUNK_MASK]
+
+    def secondaries_at(self, index: int) -> Tuple[str, ...]:
+        return self._secondaries[index >> _CHUNK_SHIFT][index & _CHUNK_MASK]
+
+    def entry_at(self, index: int) -> ShardMapEntry:
+        """Entry at a column index, materialized on first use.
+
+        The per-map memo keeps repeat lookups (route-cache misses all
+        landing on the same few shards) allocation-free; it holds only
+        the entries actually asked for, so a million-shard map pays for
+        the handful its clients route to.
+        """
+        entry = self._entry_cache.get(index)
+        if entry is None:
+            idx = self._index
+            entry = ShardMapEntry(
+                shard_id=idx.shard_ids[index],
+                key_low=idx.key_lows[index],
+                key_high=idx.key_highs[index],
+                primary=self._primaries[index >> _CHUNK_SHIFT][
+                    index & _CHUNK_MASK],
+                secondaries=self._secondaries[index >> _CHUNK_SHIFT][
+                    index & _CHUNK_MASK],
+            )
+            self._entry_cache[index] = entry
+        return entry
 
     def entry(self, shard_id: str) -> ShardMapEntry:
-        for entry in self.entries:
-            if entry.shard_id == shard_id:
-                return entry
-        raise KeyError(f"shard {shard_id!r} not in map v{self.version}")
+        """O(1) entry lookup by shard id."""
+        try:
+            index = self._index.index_of[shard_id]
+        except KeyError:
+            raise KeyError(
+                f"shard {shard_id!r} not in map v{self.version}") from None
+        return self.entry_at(index)
+
+    def index_for_key(self, key: int) -> int:
+        """Column index of the entry covering ``key``, or -1 if none."""
+        idx = self._index
+        pos = bisect_right(idx.sorted_lows, key) - 1
+        if pos < 0:
+            return -1
+        entry_index = idx.sorted_order[pos]
+        if key >= idx.key_highs[entry_index]:
+            return -1
+        return entry_index
+
+    # -- whole-map views (lazy, cached) ------------------------------------
+
+    @property
+    def entries(self) -> Tuple[ShardMapEntry, ...]:
+        """All entries in publish order (materialized once, cached)."""
+        cached = self._entries
+        if cached is None:
+            cached = tuple(self.entry_at(i) for i in range(len(self)))
+            self._entries = cached
+        return cached
 
     def routing_index(self) -> Tuple[List[int], List[ShardMapEntry]]:
         """``(key_lows, entries)`` sorted by ``key_low``, computed once.
 
-        One published map fans out to every subscribed client; caching the
-        sorted interval index on the (immutable) map itself means N routers
-        share one sort instead of each re-sorting the same entries.  The
-        cache lives in the instance ``__dict__`` so the dataclass stays
-        frozen for its declared fields.
+        Legacy whole-map view; the router now bisects the shared
+        :class:`AppKeyIndex` directly and materializes only the entry it
+        routes to.
         """
-        cached = self.__dict__.get("_routing_index")
+        cached = self._routing
         if cached is None:
-            ordered = sorted(self.entries, key=lambda e: e.key_low)
+            order = self._index.sorted_order
+            ordered = [self.entry_at(i) for i in order]
             cached = ([entry.key_low for entry in ordered], ordered)
-            object.__setattr__(self, "_routing_index", cached)
+            self._routing = cached
         return cached
+
+    # -- delta application -------------------------------------------------
+
+    def apply_delta(self, delta: ShardMapDelta) -> "ShardMap":
+        """The subscriber-side inverse of ``snapshot_delta``.
+
+        Returns a new map sharing every unchanged chunk with this one;
+        O(changed + chunks).  Raises ``ValueError`` when the delta does
+        not chain onto this map's version (the caller should resync with
+        a full snapshot instead).
+        """
+        if delta.app != self.app:
+            raise ValueError(
+                f"delta for app {delta.app!r} applied to {self.app!r}")
+        if delta.base_version != self.version:
+            raise ValueError(
+                f"{self.app}: delta v{delta.version} applies to base "
+                f"v{delta.base_version}, have v{self.version}")
+        index = self._index
+        index_of = index.index_of
+        if delta.removed or any(
+                (i := index_of.get(e.shard_id)) is None
+                or index.key_lows[i] != e.key_low
+                or index.key_highs[i] != e.key_high
+                for e in delta.changed):
+            return self._apply_delta_general(delta)
+        primaries = list(self._primaries)
+        secondaries = list(self._secondaries)
+        copied: set = set()
+        for entry in delta.changed:
+            i = index_of[entry.shard_id]
+            chunk = i >> _CHUNK_SHIFT
+            if chunk not in copied:
+                primaries[chunk] = primaries[chunk][:]
+                secondaries[chunk] = secondaries[chunk][:]
+                copied.add(chunk)
+            offset = i & _CHUNK_MASK
+            primaries[chunk][offset] = entry.primary
+            secondaries[chunk][offset] = entry.secondaries
+        return ShardMap(self.app, delta.version, key_index=index,
+                        primaries=primaries, secondaries=secondaries)
+
+    def _apply_delta_general(self, delta: ShardMapDelta) -> "ShardMap":
+        """Layout-changing delta (adds/removes/re-ranges shards): rebuild
+        through the entries path.  Never hit by orchestrator publishes
+        (their maps always cover the full spec) but kept for protocol
+        completeness."""
+        removed = set(delta.removed)
+        merged: Dict[str, ShardMapEntry] = {
+            e.shard_id: e for e in self.entries if e.shard_id not in removed}
+        for entry in delta.changed:
+            merged[entry.shard_id] = entry
+        return ShardMap(self.app, delta.version,
+                        entries=tuple(merged.values()))
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        if self.app != other.app or self.version != other.version:
+            return False
+        mine, theirs = self._index, other._index
+        if mine is not theirs and (
+                mine.shard_ids != theirs.shard_ids
+                or mine.key_lows != theirs.key_lows
+                or mine.key_highs != theirs.key_highs):
+            return False
+        for a, b in zip(self._primaries, other._primaries):
+            if a is not b and a != b:
+                return False
+        for a, b in zip(self._secondaries, other._secondaries):
+            if a is not b and a != b:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((self.app, self.version))
+
+    def __repr__(self) -> str:
+        return (f"ShardMap(app={self.app!r}, version={self.version}, "
+                f"entries={len(self)})")
+
+
+# -- wire-size model --------------------------------------------------------
+#
+# The simulator passes map objects by reference, so dissemination "bytes"
+# are modeled analytically: per-entry framing plus the strings it carries.
+# The estimators are what the scale benchmark (and the delta-vs-full
+# headline in BENCH_sim.json) report.
+
+_ENTRY_OVERHEAD = 24   # two int64 key bounds + field framing
+_HEADER_OVERHEAD = 32  # app name, version(s), entry count
+
+
+def entry_wire_bytes(entry: ShardMapEntry) -> int:
+    size = _ENTRY_OVERHEAD + len(entry.shard_id)
+    if entry.primary is not None:
+        size += len(entry.primary)
+    for secondary in entry.secondaries:
+        size += len(secondary)
+    return size
+
+
+def map_wire_bytes(shard_map: ShardMap) -> int:
+    """Serialized size of a full snapshot (computed from the columns)."""
+    index = shard_map.key_index
+    size = _HEADER_OVERHEAD + len(shard_map.app)
+    size += sum(len(shard_id) for shard_id in index.shard_ids)
+    size += _ENTRY_OVERHEAD * len(index.shard_ids)
+    for chunk in shard_map._primaries:
+        for primary in chunk:
+            if primary is not None:
+                size += len(primary)
+    for chunk in shard_map._secondaries:
+        for secondaries in chunk:
+            for secondary in secondaries:
+                size += len(secondary)
+    return size
+
+
+def delta_wire_bytes(delta: ShardMapDelta) -> int:
+    size = _HEADER_OVERHEAD + len(delta.app) + 8  # + base version
+    for entry in delta.changed:
+        size += entry_wire_bytes(entry)
+    for shard_id in delta.removed:
+        size += len(shard_id) + 4
+    return size
 
 
 class AssignmentTable:
@@ -120,11 +434,23 @@ class AssignmentTable:
         self._version = itertools.count(1)
         self.last_version = 0
         self._replica_counter = itertools.count()
-        # Incremental snapshot state: entries are rebuilt only for shards
-        # mutated since the last snapshot; the rest reuse the (frozen)
-        # ShardMapEntry from the previous publish.
+        # Incremental snapshot state: the static key index is shared by
+        # every snapshot; the routable columns are chunked and patched
+        # copy-on-write, so only shards mutated since the last snapshot
+        # (the ``_dirty`` set) cost anything at publish time.
         self._dirty: set = set(self._by_shard)
-        self._entry_cache: Dict[str, ShardMapEntry] = {}
+        self._key_index = AppKeyIndex.from_spec(spec)
+        size = len(self._key_index)
+        self._col_primaries: List[list] = [
+            [None] * min(_CHUNK, size - start)
+            for start in range(0, size, _CHUNK)]
+        self._col_secondaries: List[list] = [
+            [()] * min(_CHUNK, size - start)
+            for start in range(0, size, _CHUNK)]
+        # Chunks shared with an already-published map must be copied
+        # before the next patch (copy-on-write).
+        self._chunk_shared = bytearray(len(self._col_primaries))
+        self._sec_intern: Dict[Tuple[str, ...], Tuple[str, ...]] = {(): ()}
         # Addresses whose hosted-replica set (or a hosted replica's
         # role/state) changed since the orchestrator last persisted
         # per-address assignments; consumed by consume_dirty_addresses.
@@ -288,6 +614,62 @@ class AssignmentTable:
 
     # -- snapshotting -----------------------------------------------------------
 
+    def _rebuild_dirty(self) -> List[str]:
+        """Recompute the routable columns for every dirty shard.
+
+        Returns the (sorted, deterministic) list of shards rebuilt and
+        clears the dirty set.  Sound because every mutation goes through
+        this table — replica fields are never written from outside, see
+        the mutation methods above.
+        """
+        if not self._dirty:
+            return []
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        index_of = self._key_index.index_of
+        by_shard = self._by_shard
+        primaries_col = self._col_primaries
+        secondaries_col = self._col_secondaries
+        shared = self._chunk_shared
+        intern = self._sec_intern
+        ready = ReplicaState.READY
+        primary_role = Role.PRIMARY
+        for shard_id in dirty:
+            primary: Optional[str] = None
+            secondaries: List[str] = []
+            for replica in by_shard[shard_id]:
+                if replica.state is ready:
+                    if replica.role is primary_role:
+                        primary = replica.address
+                    else:
+                        secondaries.append(replica.address)
+            if secondaries:
+                key = tuple(sorted(secondaries))
+                secondary_tuple = intern.setdefault(key, key)
+            else:
+                secondary_tuple = ()
+            i = index_of[shard_id]
+            chunk = i >> _CHUNK_SHIFT
+            if shared[chunk]:
+                primaries_col[chunk] = primaries_col[chunk][:]
+                secondaries_col[chunk] = secondaries_col[chunk][:]
+                shared[chunk] = 0
+            offset = i & _CHUNK_MASK
+            primaries_col[chunk][offset] = primary
+            secondaries_col[chunk][offset] = secondary_tuple
+        return dirty
+
+    def _make_map(self) -> ShardMap:
+        self.last_version = next(self._version)
+        # The new map shares the chunk objects; mark them all shared so
+        # the next mutation copies before patching.
+        for i in range(len(self._chunk_shared)):
+            self._chunk_shared[i] = 1
+        return ShardMap(self.spec.name, self.last_version,
+                        key_index=self._key_index,
+                        primaries=list(self._col_primaries),
+                        secondaries=list(self._col_secondaries))
+
     def snapshot(self) -> ShardMap:
         """Publishable map: only READY replicas are routable.
 
@@ -297,41 +679,28 @@ class AssignmentTable:
         Stale clients that still route to it are served via forwarding
         inside the application server.
 
-        Entries are rebuilt incrementally: only shards touched by a
-        mutation since the previous snapshot are recomputed; the rest
-        reuse the frozen :class:`ShardMapEntry` already published (sound
-        because every mutation goes through this table — replica fields
-        are never written from outside, see the mutation methods above).
+        Cost is O(dirty + chunks): only shards touched by a mutation
+        since the previous snapshot are recomputed, and unchanged column
+        chunks are shared with the previous published map.
         """
-        cache = self._entry_cache
-        dirty = self._dirty
-        ready = ReplicaState.READY
-        primary_role = Role.PRIMARY
-        by_shard = self._by_shard
-        entries = []
-        for shard in self.spec.shards:
-            shard_id = shard.shard_id
-            entry = cache.get(shard_id)
-            if entry is None or shard_id in dirty:
-                primary: Optional[str] = None
-                secondaries: List[str] = []
-                for replica in by_shard[shard_id]:
-                    if replica.state is ready:
-                        if replica.role is primary_role:
-                            primary = replica.address
-                        else:
-                            secondaries.append(replica.address)
-                entry = ShardMapEntry(
-                    shard_id=shard_id,
-                    key_low=shard.key_range.low,
-                    key_high=shard.key_range.high,
-                    primary=primary,
-                    secondaries=tuple(sorted(secondaries)) if secondaries
-                    else (),
-                )
-                cache[shard_id] = entry
-            entries.append(entry)
-        dirty.clear()
-        self.last_version = next(self._version)
-        return ShardMap(app=self.spec.name, version=self.last_version,
-                        entries=tuple(entries))
+        self._rebuild_dirty()
+        return self._make_map()
+
+    def snapshot_delta(self) -> Tuple[ShardMap, ShardMapDelta]:
+        """Snapshot plus the :class:`ShardMapDelta` from the previous one.
+
+        The delta's ``changed`` entries are exactly the shards in the
+        dirty set (sorted for determinism) and its ``base_version`` is
+        the previous published version, so ``previous.apply_delta(delta)``
+        reproduces the returned map bit-for-bit.
+        """
+        base_version = self.last_version
+        dirty = self._rebuild_dirty()
+        shard_map = self._make_map()
+        delta = ShardMapDelta(
+            app=self.spec.name,
+            version=shard_map.version,
+            base_version=base_version,
+            changed=tuple(shard_map.entry(shard_id) for shard_id in dirty),
+        )
+        return shard_map, delta

@@ -59,7 +59,7 @@ class DrainPolicy:
         return self.drain_secondaries
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeyRange:
     """A half-open application-key interval [low, high)."""
 
@@ -77,7 +77,7 @@ class KeyRange:
         return self.high - self.low
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardSpec:
     """One application-defined shard."""
 

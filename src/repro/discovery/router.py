@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, Optional, Tuple
 
-from ..core.shard_map import ShardMap, ShardMapEntry
+from ..core.shard_map import AppKeyIndex, ShardMap, ShardMapDelta, ShardMapEntry
 from ..sim.engine import Engine, Signal, Wait
 from ..sim.network import Network, RpcResult
 
@@ -65,19 +65,25 @@ class ServiceRouter:
         self.rpc_timeout = rpc_timeout
         self.retry_backoff = retry_backoff
         self._map: Optional[ShardMap] = None
-        self._lows: List[int] = []
-        self._entries: List[ShardMapEntry] = []
+        self._index: Optional[AppKeyIndex] = None
         self.map_updates = 0
         # address -> region (or None), valid for one registration epoch of
         # the network; endpoint regions are immutable while registered.
         self._region_cache: dict = {}
         self._region_epoch = -1
         # key -> (address, shard_id) for exclude-free routing, one dict per
-        # prefer_primary flag.  Valid for one (map version, registration
-        # epoch) pair: cleared on every map delivery, and lazily on any
-        # endpoint change (replica distance — and therefore selection —
-        # depends on which endpoints are registered).
+        # prefer_primary flag.  A cached route depends only on the entry
+        # content for that key and on which endpoints are registered, so
+        # invalidation is two-pronged: a delta-carrying map delivery
+        # evicts only the keys of changed shards (via the per-shard key
+        # buckets below), while a delta-less delivery or an endpoint
+        # change clears wholesale.  All clearing funnels through
+        # _clear_route_caches — no double clears.
         self._route_caches: Tuple[dict, dict] = ({}, {})
+        # shard_id -> [cached keys], parallel to _route_caches: the
+        # reverse index that makes per-shard eviction O(cached keys of
+        # that shard) instead of O(cache).
+        self._route_keys_by_shard: Tuple[dict, dict] = ({}, {})
         self._route_epoch = -1
         # Routing counters: plain unconditional int bumps on the hot path
         # (cheaper than any guard); surfaced as registry gauges below.
@@ -87,6 +93,8 @@ class ServiceRouter:
         self.misroutes = 0
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        self.route_evictions = 0
+        self.map_resyncs = 0
         self._tracer = network.tracer
         if self._tracer.enabled and self._tracer.registry is not None:
             registry = self._tracer.registry
@@ -101,34 +109,78 @@ class ServiceRouter:
                            lambda: self.route_cache_hits)
             registry.gauge(f"{base}.route_cache_misses",
                            lambda: self.route_cache_misses)
+            registry.gauge(f"{base}.route_evictions",
+                           lambda: self.route_evictions)
+            registry.gauge(f"{base}.map_resyncs",
+                           lambda: self.map_resyncs)
 
     # -- map handling -----------------------------------------------------------
 
-    def on_map_update(self, shard_map: ShardMap) -> None:
-        if self._map is not None and shard_map.version <= self._map.version:
+    def on_map_update(self, shard_map: ShardMap,
+                      delta: Optional[ShardMapDelta] = None) -> None:
+        """Adopt a newly delivered map.
+
+        With a ``delta`` chaining onto the map we currently route with,
+        only the cached routes of changed shards are evicted — the warm
+        cache survives the frequent small publishes that dominate steady
+        state.  Any break in the chain (first delivery, delta-less
+        publish, reordered versions, layout change) falls back to a
+        wholesale resync.
+        """
+        previous = self._map
+        if previous is not None and shard_map.version <= previous.version:
             return  # tree fan-out can reorder deliveries; ignore stale ones
         self._map = shard_map
-        # The sorted interval index is cached on the map itself and shared
-        # by every router that receives this publish.
-        self._lows, self._entries = shard_map.routing_index()
+        # The sorted interval index lives on the app's shared AppKeyIndex:
+        # one bisect structure per app, reused across every version and
+        # every router, never rebuilt on delivery.
+        self._index = shard_map.key_index
+        self.map_updates += 1
+        if (delta is not None and previous is not None
+                and delta.base_version == previous.version
+                and shard_map.key_index is previous.key_index
+                and not delta.removed):
+            self._evict_changed(delta)
+        else:
+            self.map_resyncs += 1
+            self._clear_route_caches()
+
+    def _evict_changed(self, delta: ShardMapDelta) -> None:
+        """O(changed) eviction: drop cached routes only for shards whose
+        entry changed in this delta."""
+        caches = self._route_caches
+        buckets = self._route_keys_by_shard
+        for entry in delta.changed:
+            shard_id = entry.shard_id
+            for cache, bucket in zip(caches, buckets):
+                keys = bucket.pop(shard_id, None)
+                if keys:
+                    self.route_evictions += len(keys)
+                    for key in keys:
+                        cache.pop(key, None)
+
+    def _clear_route_caches(self) -> None:
+        """The single wholesale-invalidation site for the route caches."""
         self._route_caches[0].clear()
         self._route_caches[1].clear()
-        self.map_updates += 1
+        self._route_keys_by_shard[0].clear()
+        self._route_keys_by_shard[1].clear()
 
     @property
     def map_version(self) -> int:
         return self._map.version if self._map is not None else 0
 
     def entry_for_key(self, key: int) -> ShardMapEntry:
-        if not self._entries:
+        index = self._index
+        if index is None or not len(index):
             raise RoutingError("no shard map received yet")
-        index = bisect.bisect_right(self._lows, key) - 1
-        if index < 0:
+        position = bisect.bisect_right(index.sorted_lows, key) - 1
+        if position < 0:
             raise RoutingError(f"key {key} below the key space")
-        entry = self._entries[index]
-        if not (entry.key_low <= key < entry.key_high):
+        entry_index = index.sorted_order[position]
+        if key >= index.key_highs[entry_index]:
             raise RoutingError(f"key {key} not covered by any shard")
-        return entry
+        return self._map.entry_at(entry_index)
 
     # -- replica selection ----------------------------------------------------------
 
@@ -185,17 +237,24 @@ class ServiceRouter:
         epoch) pair, which is exactly the state ``pick_address`` reads.
         Routing failures are never cached.
         """
-        network = self.network
-        if network.registration_epoch != self._route_epoch:
-            self._route_epoch = network.registration_epoch
-            self._route_caches[0].clear()
-            self._route_caches[1].clear()
-        cache = self._route_caches[1 if prefer_primary else 0]
+        # Inline _sync_route_epoch: this runs once per request, and the
+        # extra call costs ~25% of the whole cache-hit path.
+        if self.network.registration_epoch != self._route_epoch:
+            self._route_epoch = self.network.registration_epoch
+            self._clear_route_caches()
+        which = 1 if prefer_primary else 0
+        cache = self._route_caches[which]
         route = cache.get(key)
         if route is None:
             self.route_cache_misses += 1
             route = self.pick_address(key, prefer_primary=prefer_primary)
             cache[key] = route
+            bucket = self._route_keys_by_shard[which]
+            shard_keys = bucket.get(route[1])
+            if shard_keys is None:
+                bucket[route[1]] = [key]
+            else:
+                shard_keys.append(key)
         else:
             self.route_cache_hits += 1
         return route

@@ -1,0 +1,242 @@
+"""Control-plane scale benchmark (the Figs 15/16 regime, §6).
+
+Measures, at shard counts up to 10^6, the three costs the delta
+dissemination work targets:
+
+* **Publish ops/s** — how fast the orchestrator-side pipeline
+  (``AssignmentTable.snapshot_delta`` → ``ServiceDiscovery.publish`` →
+  per-subscriber delivery) turns around steady-state publishes, swept
+  over the number of shards mutated between publishes (the dirty count).
+  With O(changed) snapshots this should be roughly flat in app size and
+  linear in dirty count; before, it was linear in app size regardless.
+* **Delta vs full wire bytes** — the modeled serialized size of what a
+  delta publish ships versus a full snapshot (``delta_wire_bytes`` /
+  ``map_wire_bytes``), the Fig 15-style dissemination saving.
+* **Frontend routes/s** — the mini-SM layer's shard → partition → mini-SM
+  lookup through the lazily built index, against an inline reimplementation
+  of the old O(partitions × shards) scan as the baseline.
+
+Every phase is deterministic (seeded RNG, virtual-time engine); only the
+wall-clock throughput figures vary run to run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.mini_sm import (
+    ApplicationManager,
+    ApplicationRegistry,
+    Frontend,
+    PartitionRegistry,
+)
+from ..core.shard_map import (
+    AssignmentTable,
+    ReplicaState,
+    Role,
+    delta_wire_bytes,
+    map_wire_bytes,
+)
+from ..core.spec import AppSpec, ReplicationStrategy, uniform_shards
+from ..discovery.service_discovery import ServiceDiscovery
+from ..sim.engine import Engine
+
+#: Default sweep: the paper's §6 operating points.
+DEFAULT_SHARD_COUNTS = (10_000, 100_000, 1_000_000)
+#: Shards mutated between steady-state publishes.
+DEFAULT_DIRTY_COUNTS = (1, 64, 1024)
+#: Mini-SM pool sizes to bin-pack the partitions into.
+DEFAULT_MINI_SM_COUNTS = (4, 16)
+
+
+class _DeltaCounter:
+    """Delta-aware subscriber callback: counts deliveries by kind."""
+
+    __slots__ = ("deltas", "fulls")
+
+    def __init__(self) -> None:
+        self.deltas = 0
+        self.fulls = 0
+
+    def __call__(self, shard_map, delta) -> None:
+        if delta is None:
+            self.fulls += 1
+        else:
+            self.deltas += 1
+
+
+def _build_spec(shards: int) -> AppSpec:
+    return AppSpec(
+        name="scale",
+        shards=uniform_shards(shards, key_space=shards * 16),
+        replication=ReplicationStrategy.PRIMARY_ONLY,
+    )
+
+
+def _populate(table: AssignmentTable, spec: AppSpec,
+              shards_per_server: int) -> List:
+    server_count = max(1, len(spec.shards) // shards_per_server)
+    replicas = []
+    for index, shard in enumerate(spec.shards):
+        replicas.append(table.add(
+            shard.shard_id, f"srv/{index % server_count}", Role.PRIMARY,
+            state=ReplicaState.READY))
+    return replicas
+
+
+def _route_linear(partitions, partition_registry, app_name: str,
+                  shard_id: str):
+    """The pre-index Frontend.route: scan every partition's spec."""
+    for partition in partitions:
+        try:
+            partition.spec.shard(shard_id)
+        except KeyError:
+            continue
+        return partition_registry.lookup(partition.partition_id)
+    raise KeyError(f"{app_name}: shard {shard_id!r} not in any partition")
+
+
+def run_point(shards: int,
+              dirty_counts: Sequence[int] = DEFAULT_DIRTY_COUNTS,
+              mini_sm_counts: Sequence[int] = DEFAULT_MINI_SM_COUNTS,
+              rounds: int = 30,
+              subscribers: int = 8,
+              shards_per_server: int = 100,
+              route_lookups: int = 50_000,
+              linear_lookups: Optional[int] = None,
+              partition_target: int = 128,
+              seed: int = 0) -> Dict[str, object]:
+    """One sweep point: build an app of ``shards`` shards and measure
+    publish throughput, wire bytes, and frontend routing throughput."""
+    rng = random.Random(seed)
+    point: Dict[str, object] = {"shards": shards}
+
+    # -- build ---------------------------------------------------------------
+    t0 = time.perf_counter()
+    spec = _build_spec(shards)
+    table = AssignmentTable(spec)
+    replicas = _populate(table, spec, shards_per_server)
+    point["build_seconds"] = round(time.perf_counter() - t0, 4)
+
+    engine = Engine()
+    discovery = ServiceDiscovery(engine, base_delay=0.0, jitter=0.0,
+                                 rng=random.Random(seed))
+    counters = [_DeltaCounter() for _ in range(subscribers)]
+    for counter in counters:
+        discovery.subscribe(spec.name, counter, deltas=True)
+
+    # -- initial full publish ------------------------------------------------
+    t0 = time.perf_counter()
+    snapshot, delta = table.snapshot_delta()
+    discovery.publish(snapshot, delta=delta)
+    engine.run()
+    point["full_publish_seconds"] = round(time.perf_counter() - t0, 4)
+    full_bytes = map_wire_bytes(snapshot)
+    point["full_map_bytes"] = full_bytes
+
+    # -- steady-state delta publishes, swept over dirty count ----------------
+    sweeps = []
+    for dirty in dirty_counts:
+        if dirty > shards:
+            continue
+        sample = rng.sample(replicas, dirty)
+        flip = 0
+
+        def publish_once():
+            nonlocal flip
+            flip += 1
+            suffix = "a" if flip % 2 else "b"
+            for offset, replica in enumerate(sample):
+                table.relocate(replica.replica_id,
+                               f"srv/m{suffix}{offset}")
+            snapshot, delta = table.snapshot_delta()
+            discovery.publish(snapshot, delta=delta)
+            engine.run()
+            return delta
+
+        publish_once()  # warm the mutated chunks
+        delta_bytes = 0
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            delta = publish_once()
+            delta_bytes += delta_wire_bytes(delta)
+        elapsed = time.perf_counter() - t0
+        sweeps.append({
+            "dirty": dirty,
+            "publishes_per_sec": round(rounds / elapsed, 1),
+            "delta_bytes": delta_bytes // rounds,
+            "bytes_saved_ratio": round(
+                full_bytes / max(1, delta_bytes // rounds), 1),
+        })
+    point["publish_sweep"] = sweeps
+    assert all(counter.fulls == 0 for counter in counters), \
+        "steady-state publishes must all disseminate as deltas"
+    point["delta_deliveries"] = counters[0].deltas
+
+    # -- frontend aggregation, swept over mini-SM pool sizes -----------------
+    replicas_per_partition = max(1, shards // partition_target)
+    manager = ApplicationManager(
+        max_replicas_per_partition=replicas_per_partition)
+    partitions = manager.partition_app(spec, server_count=max(
+        1, shards // shards_per_server))
+    app_registry = ApplicationRegistry()
+    app_registry.register(spec.name, partitions)
+    point["partitions"] = len(partitions)
+    shard_ids = [s.shard_id for s in spec.shards]
+    lookups = [rng.choice(shard_ids) for _ in range(route_lookups)]
+
+    mini_sweeps = []
+    indexed_elapsed = None
+    partition_registry = None
+    for target_minis in mini_sm_counts:
+        partition_registry = PartitionRegistry(
+            replicas_per_mini_sm=max(1, shards // target_minis))
+        t0 = time.perf_counter()
+        for partition in partitions:
+            partition_registry.assign(partition)
+        assign_elapsed = time.perf_counter() - t0
+
+        frontend = Frontend(app_registry, partition_registry)
+        frontend.route(spec.name, lookups[0])  # build index outside timing
+        t0 = time.perf_counter()
+        for shard_id in lookups:
+            frontend.route(spec.name, shard_id)
+        indexed_elapsed = time.perf_counter() - t0
+        mini_sweeps.append({
+            "target_mini_sms": target_minis,
+            "mini_sms": len(partition_registry.mini_sms),
+            "assign_seconds": round(assign_elapsed, 4),
+            "frontend_routes_per_sec": round(
+                route_lookups / indexed_elapsed, 1),
+        })
+    point["mini_sm_sweep"] = mini_sweeps
+    point["frontend_routes_per_sec"] = mini_sweeps[-1][
+        "frontend_routes_per_sec"]
+
+    if linear_lookups is None:
+        # The scan is O(partitions); keep the baseline measurement short.
+        linear_lookups = max(200, min(5000, route_lookups // len(partitions)))
+    t0 = time.perf_counter()
+    for shard_id in lookups[:linear_lookups]:
+        _route_linear(partitions, partition_registry, spec.name, shard_id)
+    linear_elapsed = time.perf_counter() - t0
+    point["frontend_linear_routes_per_sec"] = round(
+        linear_lookups / linear_elapsed, 1)
+    point["frontend_speedup_vs_linear"] = round(
+        (route_lookups / indexed_elapsed)
+        / max(1e-9, linear_lookups / linear_elapsed), 1)
+    return point
+
+
+def run_sweep(shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+              **kwargs) -> Dict[str, object]:
+    """The full sweep recorded as BENCH_sim.json's ``scale`` section."""
+    t0 = time.perf_counter()
+    points = [run_point(count, **kwargs) for count in shard_counts]
+    return {
+        "shard_counts": list(shard_counts),
+        "points": points,
+        "wall_seconds": round(time.perf_counter() - t0, 2),
+    }

@@ -1,5 +1,7 @@
 """Unit tests for the scale-out control plane (mini-SMs, registries)."""
 
+import random
+
 import pytest
 
 from repro.core.mini_sm import (
@@ -134,3 +136,86 @@ class TestFrontend:
         registry.register("a", [])
         with pytest.raises(ValueError):
             registry.register("a", [])
+
+    def test_route_unknown_shard(self):
+        manager = ApplicationManager(max_replicas_per_partition=1000)
+        partitions = manager.partition_app(big_spec(shards=10),
+                                           server_count=5)
+        app_registry = ApplicationRegistry()
+        app_registry.register("big", partitions)
+        partition_registry = PartitionRegistry()
+        for partition in partitions:
+            partition_registry.assign(partition)
+        frontend = Frontend(app_registry, partition_registry)
+        with pytest.raises(KeyError):
+            frontend.route("big", "ghost")
+
+    def test_route_index_invalidated_on_register(self):
+        """The lazily built shard->partition index must not survive a
+        registration (new apps — and their shards — become routable)."""
+        manager = ApplicationManager(max_replicas_per_partition=1000)
+        app_registry = ApplicationRegistry()
+        partition_registry = PartitionRegistry()
+        frontend = Frontend(app_registry, partition_registry)
+
+        first = manager.partition_app(big_spec(shards=10), server_count=5)
+        app_registry.register("big", first)
+        for partition in first:
+            partition_registry.assign(partition)
+        assert frontend.route("big", "shard0") is not None
+
+        spec2 = AppSpec(
+            name="other",
+            shards=uniform_shards(4, 40, replica_count=1),
+            replication=ReplicationStrategy.PRIMARY_ONLY,
+        )
+        second = manager.partition_app(spec2, server_count=2)
+        app_registry.register("other", second)
+        mini_sm = partition_registry.assign(second[0])
+        assert frontend.route("other", "shard3") is mini_sm
+
+
+class TestRegistryHeapParity:
+    """The heap-based assign must reproduce the old linear-scan
+    bin-packing decision for decision: least-loaded instance that fits,
+    first-created among ties, new instance only when none fits."""
+
+    @staticmethod
+    def _reference_assign(loads, capacity, replicas):
+        candidates = [i for i, load in enumerate(loads)
+                      if load + replicas <= capacity]
+        if candidates:
+            return min(candidates, key=lambda i: loads[i])
+        return len(loads)  # grow the pool
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_linear_scan_reference(self, seed):
+        rng = random.Random(seed)
+        capacity = 100
+        registry = PartitionRegistry(replicas_per_mini_sm=capacity)
+        loads = []
+        for index in range(300):
+            replicas = rng.choice([1, 7, 30, 55, 100, 130])
+            footprint = plan_partition_footprints(
+                f"app{index}", servers=1, shards=replicas,
+                max_replicas_per_partition=10**9)[0]
+            expected = self._reference_assign(loads, capacity, replicas)
+            target = registry.assign(footprint)
+            assert registry.mini_sms.index(target) == expected
+            if expected == len(loads):
+                loads.append(replicas)
+            else:
+                loads[expected] += replicas
+        assert [m.replica_count for m in registry.mini_sms] == loads
+
+    def test_cached_counters_recount_after_direct_append(self):
+        registry = PartitionRegistry(replicas_per_mini_sm=1000)
+        footprints = plan_partition_footprints(
+            "app", servers=10, shards=60, max_replicas_per_partition=30)
+        mini_sm = registry.assign(footprints[0])
+        assert mini_sm.replica_count == 30
+        # Bypassing add_partition: the lazy recount must still see it.
+        mini_sm.partitions.append(footprints[1])
+        assert mini_sm.replica_count == 60
+        assert mini_sm.server_count == 10
+        assert mini_sm.shard_count == 60

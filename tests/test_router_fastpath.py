@@ -255,10 +255,10 @@ def _run_fig18_slice():
     discovery = cluster.discovery
     original_publish = discovery.publish
 
-    def traced_publish(shard_map):
+    def traced_publish(shard_map, delta=None):
         trace.append(f"publish {engine.now!r} v{shard_map.version} "
                      f"{len(shard_map.entries)}")
-        original_publish(shard_map)
+        original_publish(shard_map, delta=delta)
 
     discovery.publish = traced_publish
 

@@ -1,0 +1,42 @@
+"""Smoke test for the control-plane scale benchmark (small N).
+
+Checks structure and the directional claims (delta bytes well under the
+full map, indexed frontend faster than the linear scan) without the
+wall-clock-sensitive thresholds the real sweep records.
+"""
+
+from repro.experiments.scale_bench import run_point, run_sweep
+
+
+def test_run_point_structure_and_direction():
+    point = run_point(2000, dirty_counts=(1, 16), mini_sm_counts=(2,),
+                      rounds=3, subscribers=2, route_lookups=2000,
+                      linear_lookups=200)
+    assert point["shards"] == 2000
+    assert point["full_map_bytes"] > 0
+    assert [s["dirty"] for s in point["publish_sweep"]] == [1, 16]
+    for sweep in point["publish_sweep"]:
+        assert sweep["publishes_per_sec"] > 0
+        # The delta must be far smaller than shipping the whole map.
+        assert sweep["delta_bytes"] * 10 < point["full_map_bytes"]
+    assert point["delta_deliveries"] > 0
+    assert point["partitions"] >= 2
+    assert point["mini_sm_sweep"][0]["mini_sms"] >= 2
+    assert point["frontend_routes_per_sec"] > 0
+    assert point["frontend_speedup_vs_linear"] > 1.0
+
+
+def test_run_sweep_collects_points():
+    section = run_sweep((500, 1000), dirty_counts=(1,), mini_sm_counts=(2,),
+                        rounds=2, subscribers=1, route_lookups=500,
+                        linear_lookups=100)
+    assert section["shard_counts"] == [500, 1000]
+    assert [p["shards"] for p in section["points"]] == [500, 1000]
+    assert section["wall_seconds"] >= 0
+
+
+def test_dirty_counts_beyond_app_size_skipped():
+    point = run_point(100, dirty_counts=(1, 1000), mini_sm_counts=(2,),
+                      rounds=2, subscribers=1, route_lookups=200,
+                      linear_lookups=50)
+    assert [s["dirty"] for s in point["publish_sweep"]] == [1]
