@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim bench-request bench-scale profile trace-fig17
+.PHONY: test bench bench-quick bench-sim bench-request bench-scale bench-fluid profile trace-fig17
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -36,6 +36,13 @@ bench-request:
 # append `--smoke` flags via SCALE_ARGS for a quick pass.
 bench-scale:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_scale_bench.py $(SCALE_ARGS)
+
+# Hybrid fluid traffic engine benchmark: event-vs-fluid Fig 18 walls and
+# the 10M-user diurnal multi-region scenario.  Records simulated users/s
+# and wall-clock into BENCH_sim.json's `fluid` section.  Append `--smoke`
+# via FLUID_ARGS for the CI-sized pass.
+bench-fluid:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_fluid_bench.py $(FLUID_ARGS)
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

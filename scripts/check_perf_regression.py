@@ -73,6 +73,35 @@ def check_scale(report: dict, min_publish_ops: float,
     return warnings
 
 
+def check_fluid(report: dict, min_users_per_sec: float) -> list:
+    """Soft floor for the hybrid fluid engine's headline throughput.
+
+    Gates the ``fluid`` section's 10M-user scenario: simulated users per
+    wall second must clear the floor, and the scenario must have finished
+    under the event-mode fig18 wall measured in the same run.  Returns
+    GitHub-annotation warning strings.
+    """
+    warnings = []
+    section = report.get("fluid")
+    if not section:
+        return ["::warning title=fluid gate::report has no `fluid` section "
+                "(run scripts/run_fluid_bench.py)"]
+    scale = section.get("scale", {})
+    users_per_sec = scale.get("users_per_sec", 0.0)
+    if users_per_sec < min_users_per_sec:
+        warnings.append(
+            f"::warning title=fluid gate::{scale.get('users', 0):,} users: "
+            f"{users_per_sec:,.0f} users/s below floor "
+            f"{min_users_per_sec:,.0f}")
+    if not scale.get("under_event_fig18_wall", False):
+        warnings.append(
+            f"::warning title=fluid gate::10M-user scenario took "
+            f"{scale.get('wall_seconds', 0.0):.2f}s — not under the "
+            f"event-mode fig18 wall "
+            f"({section.get('fig18', {}).get('event_wall_seconds', 0.0):.2f}s)")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="warn when events/s regressed vs the baseline")
@@ -98,6 +127,10 @@ def main() -> int:
                         default=10.0,
                         help="floor for the frontend indexed-vs-linear "
                              "speedup (only with --scale-min-publish-ops)")
+    parser.add_argument("--fluid-min-users-per-sec", type=float, default=None,
+                        help="also gate the report's `fluid` section: floor "
+                             "for the 10M-user scenario's simulated users "
+                             "per wall second")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -108,7 +141,11 @@ def main() -> int:
                      & set(baseline.get("figures", {})))
     if not checked:
         print("perf gate: no overlapping figures to compare", file=sys.stderr)
-        return 0
+        # Section-only reports (e.g. the fluid-smoke job's) still run the
+        # section gates below.
+        if args.scale_min_publish_ops is None \
+                and args.fluid_min_users_per_sec is None:
+            return 0
     for figure, old, new, ratio in regressions:
         print(f"::warning title=perf regression::{figure}: "
               f"{new:,.0f} events/s vs baseline {old:,.0f} "
@@ -147,7 +184,19 @@ def main() -> int:
                   f"{args.scale_min_frontend_speedup:,.1f}x frontend "
                   f"speedup")
 
-    if regressions or obs_regressions or scale_warnings:
+    fluid_warnings = []
+    if args.fluid_min_users_per_sec is not None:
+        fluid_warnings = check_fluid(report, args.fluid_min_users_per_sec)
+        for warning in fluid_warnings:
+            print(warning)
+        if not fluid_warnings:
+            scale = report.get("fluid", {}).get("scale", {})
+            print(f"fluid gate: {scale.get('users', 0):,} users at "
+                  f"{scale.get('users_per_sec', 0.0):,.0f} users/s "
+                  f"(floor {args.fluid_min_users_per_sec:,.0f}), "
+                  f"under the event-mode fig18 wall")
+
+    if regressions or obs_regressions or scale_warnings or fluid_warnings:
         return 1 if args.hard else 0
     return 0
 

@@ -42,6 +42,11 @@ def main() -> int:
                         help="run tasks inline in this process")
     parser.add_argument("--smoke", action="store_true",
                         help="use the scaled-down task set (CI-friendly)")
+    parser.add_argument("--traffic", choices=("event", "fluid"),
+                        default="event",
+                        help="traffic engine for the request-driven "
+                             "figures (fig17/fig18): per-request events "
+                             "or the hybrid fluid engine")
     parser.add_argument("--output", default=None,
                         help="write the JSON report to this path")
     parser.add_argument("--baseline", default=None,
@@ -62,6 +67,8 @@ def main() -> int:
     args = parser.parse_args()
 
     tasks = runner.SMOKE_TASKS if args.smoke else runner.DEFAULT_TASKS
+    if args.traffic != "event":
+        tasks = runner.with_traffic(tasks, args.traffic)
 
     if args.trace:
         task = runner.select_task(tasks, args.trace_figure)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Benchmark the hybrid fluid traffic engine -> BENCH_sim.json `fluid` section.
+
+Three measurements:
+
+1. **Event-mode Figure 18** at its default scale — the wall-clock bar the
+   fluid engine must beat while modelling vastly more traffic.
+2. **Fluid-mode Figure 18** at the same scale — the like-for-like speedup
+   and the headline parity deltas (error rate, upgrades).
+3. **The 10M-user scenario** (:mod:`repro.experiments.fluid_scale`) —
+   ten million users of diurnal multi-region traffic; publishes simulated
+   users per wall second, the acceptance headline.
+
+The section is merged into BENCH_sim.json (the rest of the report is
+left untouched, same idiom as the ``scale`` section); ``--fluid-output``
+also writes the section alone for CI artifact upload.
+
+    PYTHONPATH=src python scripts/run_fluid_bench.py           # full
+    PYTHONPATH=src python scripts/run_fluid_bench.py --smoke   # CI-sized
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import fig18_production_upgrades, fluid_scale  # noqa: E402
+
+
+def _timed_fig18(**kwargs):
+    start = time.perf_counter()
+    result = fig18_production_upgrades.run(**kwargs)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down preset for CI")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        help="report to merge the fluid section into")
+    parser.add_argument("--fluid-output", default=None,
+                        help="also write the fluid section alone here")
+    args = parser.parse_args()
+
+    if args.smoke:
+        fig18_kwargs = dict(shards=120, servers=10, day_length=1_200.0,
+                            days=1, seed=args.seed)
+        scale_kwargs = dict(users=1_000_000, shards=200,
+                            servers_per_region=8, day_length=1_200.0,
+                            days=1, epoch=15.0, seed=args.seed)
+    else:
+        fig18_kwargs = dict(shards=400, servers=20, day_length=3_600.0,
+                            days=2, seed=args.seed)
+        scale_kwargs = dict(seed=args.seed)
+
+    event18, event_wall = _timed_fig18(traffic="event", **fig18_kwargs)
+    fluid18, fluid_wall = _timed_fig18(traffic="fluid", **fig18_kwargs)
+    print(f"fig18 event: {event_wall:.2f}s  err={event18.overall_error_rate:.5f}  "
+          f"upgrades={event18.upgrades_run}")
+    print(f"fig18 fluid: {fluid_wall:.2f}s  err={fluid18.overall_error_rate:.5f}  "
+          f"upgrades={fluid18.upgrades_run}  "
+          f"({event_wall / fluid_wall if fluid_wall > 0 else 0.0:.1f}x)")
+
+    scale = fluid_scale.run(**scale_kwargs)
+    print(fluid_scale.format_report(scale))
+
+    section = {
+        "smoke": bool(args.smoke),
+        "fig18": {
+            "event_wall_seconds": event_wall,
+            "fluid_wall_seconds": fluid_wall,
+            "speedup": event_wall / fluid_wall if fluid_wall > 0 else 0.0,
+            "event_error_rate": event18.overall_error_rate,
+            "fluid_error_rate": fluid18.overall_error_rate,
+            "error_rate_delta": abs(fluid18.overall_error_rate
+                                    - event18.overall_error_rate),
+            "event_upgrades": event18.upgrades_run,
+            "fluid_upgrades": fluid18.upgrades_run,
+        },
+        "scale": {
+            "users": scale.users,
+            "regions": scale.regions,
+            "shards": scale.shards,
+            "servers": scale.servers,
+            "sim_seconds": scale.sim_seconds,
+            "wall_seconds": scale.wall_seconds,
+            "users_per_sec": scale.users_per_sec,
+            "sim_rate": scale.sim_rate,
+            "arrivals": scale.arrivals,
+            "availability": scale.availability,
+            "mean_latency_ms": scale.mean_latency_ms,
+            "p99_latency_ms": scale.p99_latency_ms,
+            "max_utilization": scale.max_utilization,
+            "shard_moves": scale.shard_moves,
+            "upgrades_run": scale.upgrades_run,
+            "epochs": scale.epochs,
+            "flows": scale.flows,
+            "delta_reprices": scale.delta_reprices,
+            "full_reprices": scale.full_reprices,
+            # The acceptance bar: finish under the event-mode fig18 wall.
+            "under_event_fig18_wall": scale.wall_seconds < event_wall,
+        },
+    }
+
+    report = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            report = json.load(handle)
+    report["fluid"] = section
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"merged fluid section into {args.output}")
+
+    if args.fluid_output:
+        with open(args.fluid_output, "w") as handle:
+            json.dump({"fluid": section}, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote fluid section to {args.fluid_output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

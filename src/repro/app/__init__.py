@@ -1,6 +1,7 @@
 """Application-side pieces: SM library, servers, clients, runtime glue."""
 
 from .client import ApplicationClient, WorkloadRecorder, get_client
+from .fluid import FluidClient, FluidServer
 from .interfaces import NotOwnerError, RequestHandler, ShardHost
 from .runtime import AppRuntime
 from .server import ApplicationServer, HostedShard, HostedState
@@ -9,6 +10,8 @@ __all__ = [
     "ApplicationClient",
     "WorkloadRecorder",
     "get_client",
+    "FluidClient",
+    "FluidServer",
     "NotOwnerError",
     "RequestHandler",
     "ShardHost",

@@ -28,16 +28,36 @@ from ..sim.network import Network
 #: Floor applied to every rate-curve sample (requests/second).
 _MIN_RATE = 1e-9
 
+#: Ceiling applied to every rate-curve sample.  An infinite rate would
+#: give zero inter-arrival delay — the open-loop driver then schedules
+#: same-instant events forever and the clock never advances.
+_MAX_RATE = 1e12
+
 
 def clamped_rate(value: float) -> float:
-    """Clamp a rate-curve sample so open-loop scheduling cannot stall.
+    """Clamp a rate-curve sample to a finite positive rate.
 
-    A zero rate would divide-by-zero the exponential sampler and a
-    negative one would produce a negative inter-arrival delay (which the
-    engine rejects); both are clamped to a tiny positive rate, i.e. "the
-    next arrival is effectively never".
+    The per-request driver feeds the result to an exponential sampler
+    (zero would divide-by-zero, a negative rate would produce a negative
+    delay the engine rejects) and the fluid epoch integrator divides by
+    it, so every pathological input maps to a safe finite value:
+
+    * negative, zero, ``-inf`` -> ``_MIN_RATE`` ("next arrival never");
+    * ``+inf`` or absurdly large -> ``_MAX_RATE`` (a finite flood —
+      an infinite rate would stall the clock at one instant);
+    * ``NaN`` -> ``_MIN_RATE`` (a curve with no defined value sends no
+      traffic rather than corrupting downstream arithmetic).
+
+    Ordinary rates in ``[_MIN_RATE, _MAX_RATE]`` pass through unchanged,
+    so seeded event-mode traces are unaffected by the clamping.
     """
-    return max(_MIN_RATE, value)
+    if value != value:  # NaN: no comparison below would catch it
+        return _MIN_RATE
+    if value > _MAX_RATE:
+        return _MAX_RATE
+    if value < _MIN_RATE:
+        return _MIN_RATE
+    return value
 
 
 @dataclass
@@ -61,6 +81,25 @@ class WorkloadRecorder:
             self.latency.record(now, outcome.latency)
         else:
             self.failed += 1
+
+    def record_bulk(self, now: float, ok: float, failed: float,
+                    mean_latency: Optional[float] = None) -> None:
+        """Fold an analytically integrated batch of outcomes in at once.
+
+        The fluid traffic engine integrates whole epochs of arrivals and
+        lands them here, so figure code reads the same recorder fields
+        and RateWindow buckets in either traffic mode.  Counts may be
+        fractional (they are expectations, not samples).
+        """
+        if ok:
+            self.success.record(now, True, ok)
+            self.succeeded += ok
+            if mean_latency is not None:
+                self.latency.record(now, mean_latency)
+        if failed:
+            self.success.record(now, False, failed)
+            self.failed += failed
+        self.sent += ok + failed
 
 
 class _WorkloadOp:

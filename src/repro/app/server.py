@@ -73,6 +73,11 @@ class ApplicationServer:
         self._shards: Dict[str, HostedShard] = {}
         self._stopped = False
         self._last_report_time = engine.now
+        # Monotone hosting-mutation counter: bumped whenever the set of
+        # hosted shards (or any hosted shard's state) changes.  The fluid
+        # traffic engine polls it per epoch to reprice only the flows of
+        # servers that actually changed — the event path never reads it.
+        self.mutations = 0
 
         self.endpoint = network.register(self.address, self.region)
         self.endpoint.on("app.request", self._handle_app_request)
@@ -155,6 +160,7 @@ class ApplicationServer:
             role = Role(entry["role"])
             self._shards[shard_id] = HostedShard(
                 shard_id=shard_id, role=role, state=HostedState.ACTIVE)
+            self.mutations += 1
 
     def shutdown(self, graceful: bool) -> None:
         """Tear down when the container stops.
@@ -168,6 +174,7 @@ class ApplicationServer:
         self._stopped = True
         self._stop_heartbeat()
         self._shards.clear()
+        self.mutations += 1
         if self.network.has_endpoint(self.address):
             self.network.unregister(self.address)
         if graceful:
@@ -194,6 +201,7 @@ class ApplicationServer:
         else:
             self._shards[shard_id] = HostedShard(
                 shard_id=shard_id, role=role, state=HostedState.ACTIVE)
+        self.mutations += 1
         return "ok"
 
     def _rpc_drop_shard(self, payload: Dict[str, Any]) -> str:
@@ -204,11 +212,16 @@ class ApplicationServer:
         if hosted.state is HostedState.FORWARDING:
             # §4.3 step 5: keep forwarding until requests stop arriving,
             # modelled as a fixed grace period, then drop.
-            self.engine.call_after(self.drop_grace,
-                                   lambda: self._shards.pop(shard_id, None))
+            self.engine.call_after(self.drop_grace, self._deferred_drop,
+                                   shard_id)
         else:
             del self._shards[shard_id]
+            self.mutations += 1
         return "ok"
+
+    def _deferred_drop(self, shard_id: str) -> None:
+        if self._shards.pop(shard_id, None) is not None:
+            self.mutations += 1
 
     def _rpc_change_role(self, payload: Dict[str, Any]) -> str:
         shard_id = payload["shard_id"]
@@ -217,6 +230,7 @@ class ApplicationServer:
         if hosted is None:
             raise NotOwnerError(f"{self.address} does not host {shard_id}")
         hosted.role = new_role
+        self.mutations += 1
         return "ok"
 
     def _rpc_prepare_add_shard(self, payload: Dict[str, Any]) -> str:
@@ -224,6 +238,7 @@ class ApplicationServer:
         role = Role(payload["role"])
         self._shards[shard_id] = HostedShard(
             shard_id=shard_id, role=role, state=HostedState.PREPARING)
+        self.mutations += 1
         return "ok"
 
     def _rpc_prepare_drop_shard(self, payload: Dict[str, Any]) -> str:
@@ -234,6 +249,7 @@ class ApplicationServer:
             raise NotOwnerError(f"{self.address} does not host {shard_id}")
         hosted.state = HostedState.FORWARDING
         hosted.forward_to = new_owner
+        self.mutations += 1
         return "ok"
 
     def _rpc_report_load(self, _payload: Any) -> Dict[str, Dict[str, float]]:

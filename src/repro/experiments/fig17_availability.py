@@ -34,6 +34,7 @@ from ..core.spec import AppSpec, ReplicationStrategy, uniform_shards
 from ..core.task_controller import SMTaskControllerConfig
 from ..harness import SimCluster, deploy_app
 from ..metrics.timeseries import TimeSeries
+from ..workloads.load import ConstantCurve
 from .common import series_rows
 
 
@@ -69,7 +70,8 @@ class Fig17Result:
 
 def _run_arm(label: str, graceful: bool, with_task_controller: bool,
              shards: int, servers: int, restart_duration: float,
-             request_rate: float, seed: int) -> UpgradeArm:
+             request_rate: float, seed: int,
+             traffic: str = "event", epoch: float = 2.0) -> UpgradeArm:
     cluster = SimCluster.build(
         regions=("FRC",),
         machines_per_region=servers + 4,
@@ -104,17 +106,26 @@ def _run_arm(label: str, graceful: bool, with_task_controller: bool,
     if app.ready_fraction() < 1.0:
         cluster.run(until=cluster.engine.now + 60.0)
 
-    # attempts=1: the paper's y-axis is the raw client request success
-    # rate; retries would mask exactly the drops Figure 17 measures.
-    client = app.client(cluster, "FRC", attempts=1, rpc_timeout=0.5)
     recorder = WorkloadRecorder.with_bucket(30.0)
     horizon = 4_000.0
-    client.run_workload(
-        duration=horizon,
-        rate=lambda t: request_rate,
-        key_fn=lambda rng: rng.randrange(shards * 16),
-        recorder=recorder,
-    )
+    if traffic == "fluid":
+        # Same workload as flows: the epoch must sit under the discovery
+        # fan-out window (2–5 s here) so map-staleness failures resolve
+        # on the same timescale the per-request path sees them.
+        fluid = app.fluid_client(cluster, "FRC")
+        fluid.run_workload(duration=horizon,
+                           rate=ConstantCurve(request_rate),
+                           recorder=recorder, epoch=epoch)
+    else:
+        # attempts=1: the paper's y-axis is the raw client request success
+        # rate; retries would mask exactly the drops Figure 17 measures.
+        client = app.client(cluster, "FRC", attempts=1, rpc_timeout=0.5)
+        client.run_workload(
+            duration=horizon,
+            rate=ConstantCurve(request_rate),
+            key_fn=lambda rng: rng.randrange(shards * 16),
+            recorder=recorder,
+        )
     upgrade = cluster.twines["FRC"].start_rolling_upgrade(
         spec.name, max_concurrent=concurrency,
         restart_duration=restart_duration)
@@ -130,7 +141,7 @@ def _run_arm(label: str, graceful: bool, with_task_controller: bool,
     # Success rate over the upgrade window only (the figure's x-range).
     window_end = (upgrade.finished_at if upgrade.finished_at is not None
                   else cluster.engine.now)
-    ok_total, failed_total = 0, 0
+    ok_total, failed_total = 0.0, 0.0
     for bucket in recorder.success.buckets():
         bucket_time = (bucket + 0.5) * recorder.success.width
         if start <= bucket_time <= window_end + restart_duration:
@@ -141,8 +152,9 @@ def _run_arm(label: str, graceful: bool, with_task_controller: bool,
         label=label,
         success_rate=ok_total / max(1, ok_total + failed_total),
         upgrade_duration=duration,
-        requests_sent=recorder.sent,
-        requests_failed=recorder.failed,
+        # Fluid counts are expectations (fractional); round for the report.
+        requests_sent=int(round(recorder.sent)),
+        requests_failed=int(round(recorder.failed)),
         success_series=recorder.success.series(),
         shard_moves=app.orchestrator.executor.stats.total_moves,
     )
@@ -150,25 +162,31 @@ def _run_arm(label: str, graceful: bool, with_task_controller: bool,
 
 def run(shards: int = 2_000, servers: int = 60,
         restart_duration: float = 60.0, request_rate: float = 60.0,
-        seed: int = 0) -> Fig17Result:
+        seed: int = 0, traffic: str = "event",
+        epoch: float = 2.0) -> Fig17Result:
+    if traffic not in ("event", "fluid"):
+        raise ValueError(f"unknown traffic mode {traffic!r}")
     arms = {
         "sm": _run_arm(
             "SM", graceful=True, with_task_controller=True,
             shards=shards, servers=servers,
             restart_duration=restart_duration,
-            request_rate=request_rate, seed=seed),
+            request_rate=request_rate, seed=seed,
+            traffic=traffic, epoch=epoch),
         "no_graceful_migration": _run_arm(
             "no graceful migration", graceful=False,
             with_task_controller=True,
             shards=shards, servers=servers,
             restart_duration=restart_duration,
-            request_rate=request_rate, seed=seed),
+            request_rate=request_rate, seed=seed,
+            traffic=traffic, epoch=epoch),
         "no_graceful_no_taskcontroller": _run_arm(
             "no graceful migration & no TaskController",
             graceful=False, with_task_controller=False,
             shards=shards, servers=servers,
             restart_duration=restart_duration,
-            request_rate=request_rate, seed=seed),
+            request_rate=request_rate, seed=seed,
+            traffic=traffic, epoch=epoch),
     }
     return Fig17Result(arms=arms)
 

@@ -25,6 +25,7 @@ from ..core.orchestrator import OrchestratorConfig
 from ..core.spec import AppSpec, ReplicationStrategy, uniform_shards
 from ..harness import SimCluster, deploy_app
 from ..metrics.timeseries import TimeSeries
+from ..workloads.load import DiurnalCurve
 from .common import series_rows
 
 
@@ -46,10 +47,18 @@ class Fig18Result:
 
 def run(shards: int = 400, servers: int = 20, day_length: float = 3_600.0,
         days: int = 2, base_rate: float = 10.0, peak_rate: float = 40.0,
-        canary_fraction: float = 0.1, seed: int = 0) -> Fig18Result:
+        canary_fraction: float = 0.1, seed: int = 0,
+        traffic: str = "event", epoch: float = 5.0) -> Fig18Result:
     """``day_length`` compresses the diurnal period (default: 1h per
-    simulated 'day'); upgrade cadence and shapes are unchanged."""
-    from ..workloads.load import DiurnalCurve
+    simulated 'day'); upgrade cadence and shapes are unchanged.
+
+    ``traffic`` selects the per-request path (``"event"``) or the hybrid
+    fluid engine (``"fluid"``, advancing flows every ``epoch`` seconds);
+    both land outcomes in the same recorder, so the derived curves and
+    headline numbers are comparable across modes.
+    """
+    if traffic not in ("event", "fluid"):
+        raise ValueError(f"unknown traffic mode {traffic!r}")
 
     cluster = SimCluster.build(
         regions=("FRC",),
@@ -74,8 +83,6 @@ def run(shards: int = 400, servers: int = 20, day_length: float = 3_600.0,
                      orchestrator_config=orchestrator_config,
                      settle=60.0)
 
-    client = app.client(cluster, "FRC", attempts=2, rpc_timeout=0.5,
-                        retry_backoff=0.2)
     recorder = WorkloadRecorder.with_bucket(day_length / 48.0)
     curve = DiurnalCurve(base=base_rate, peak=peak_rate, period=day_length,
                          phase=day_length / 4.0)
@@ -85,10 +92,17 @@ def run(shards: int = 400, servers: int = 20, day_length: float = 3_600.0,
         return rng.randrange(shards * 8)
 
     start = cluster.engine.now
-    client.run_workload(
-        duration=horizon, rate=curve, key_fn=key_fn, recorder=recorder,
-        payload_fn=lambda key: {"op": "enqueue", "queue": key,
-                                "message": f"m{key}"})
+    if traffic == "fluid":
+        fluid = app.fluid_client(cluster, "FRC")
+        fluid.run_workload(duration=horizon, rate=curve, recorder=recorder,
+                           epoch=epoch)
+    else:
+        client = app.client(cluster, "FRC", attempts=2, rpc_timeout=0.5,
+                            retry_backoff=0.2)
+        client.run_workload(
+            duration=horizon, rate=curve, key_fn=key_fn, recorder=recorder,
+            payload_fn=lambda key: {"op": "enqueue", "queue": key,
+                                    "message": f"m{key}"})
 
     # Staged daily upgrades: canary at 25% of the day, full at 37.5%.
     upgrades_run = 0

@@ -76,6 +76,27 @@ def fig23_task(**kwargs: Any) -> Dict[str, Any]:
     return {"max_p99": result.max_p99(), "total_moves": result.total_moves()}
 
 
+def fluid_scale_task(**kwargs: Any) -> Dict[str, Any]:
+    from . import fluid_scale
+    result = fluid_scale.run(**kwargs)
+    return {"users": result.users,
+            "sim_seconds": result.sim_seconds,
+            "wall_seconds": result.wall_seconds,
+            "users_per_sec": result.users_per_sec,
+            "sim_rate": result.sim_rate,
+            "arrivals": result.arrivals,
+            "availability": result.availability,
+            "mean_latency_ms": result.mean_latency_ms,
+            "p99_latency_ms": result.p99_latency_ms,
+            "max_utilization": result.max_utilization,
+            "shard_moves": result.shard_moves,
+            "upgrades_run": result.upgrades_run,
+            "epochs": result.epochs,
+            "flows": result.flows,
+            "delta_reprices": result.delta_reprices,
+            "full_reprices": result.full_reprices}
+
+
 def chaos_task(scenario: str, arm: str = "sm", seed: int = 0,
                capacity: int = 1 << 20,
                journal_path: Optional[str] = None) -> Dict[str, Any]:
@@ -145,6 +166,21 @@ SMOKE_TASKS: List[Dict[str, Any]] = [
      "fn": "repro.experiments.runner:fig23_task",
      "kwargs": {"servers": 15, "shards": 60, "days": 1.0, "seed": 0}},
 ]
+
+
+#: Figures that accept the ``traffic=`` kwarg (the hybrid engine switch).
+TRAFFIC_AWARE_FIGURES = ("fig17", "fig18")
+
+
+def with_traffic(tasks: List[Dict[str, Any]],
+                 traffic: str) -> List[Dict[str, Any]]:
+    """Copy a task list with ``traffic`` injected into the aware figures."""
+    out: List[Dict[str, Any]] = []
+    for task in tasks:
+        if task["figure"] in TRAFFIC_AWARE_FIGURES:
+            task = dict(task, kwargs=dict(task["kwargs"], traffic=traffic))
+        out.append(task)
+    return out
 
 
 def run_task(task: Dict[str, Any]) -> Dict[str, Any]:

@@ -154,6 +154,16 @@ class DeployedApp:
             cluster.engine, cluster.network, cluster.discovery,
             self.spec.name, address, region, **router_options)
 
+    def fluid_client(self, cluster: SimCluster, region: str,
+                     **fluid_options) -> "FluidClient":
+        """The fluid-traffic counterpart of :meth:`client`: one analytic
+        flow table modelling all of this app's users in ``region``."""
+        from .app.fluid import FluidClient
+        return FluidClient(
+            cluster.engine, cluster.network, cluster.discovery,
+            self.runtime, self.spec.name, region,
+            tracer=cluster.obs.tracer, **fluid_options)
+
     def ready_fraction(self) -> float:
         """Fraction of desired replicas that are READY (deploy health)."""
         desired = self.spec.total_replicas()

@@ -77,6 +77,7 @@ class TraceChecker:
         violations.extend(self._check_primary_uniqueness())
         violations.extend(self._check_migration_protocol())
         violations.extend(self.check_fault_recovery())
+        violations.extend(self.check_fluid())
         return violations
 
     def assert_clean(self) -> None:
@@ -241,6 +242,54 @@ class TraceChecker:
                 f"fault {fault!r} injected at t={record.time!r} has no "
                 f"recovery record",
                 record.seq))
+        return violations
+
+    # -- fluid traffic invariants (hybrid engine audit trail) ----------------
+
+    def check_fluid(self) -> List[Violation]:
+        """Audit the fluid engine's ``fluid/epoch`` records.
+
+        Per (app, client) stream: epochs must be non-overlapping and in
+        time order, arrivals must be conserved (``ok + failed`` equals
+        ``arrivals`` up to integration rounding), and the healthy share
+        must stay in ``[0, 1]``.  Journals without a fluid track pass
+        trivially — the event path is unaffected.
+        """
+        violations: List[Violation] = []
+        last_end: Dict[Tuple[str, str], float] = {}
+        for record in self.journal:
+            if (record.kind != KIND_INSTANT or record.track != "fluid"
+                    or record.name != "epoch"):
+                continue
+            args = record.args or {}
+            key = (args.get("app", ""), args.get("client", ""))
+            t0 = args.get("t0", 0.0)
+            t1 = args.get("t1", 0.0)
+            previous = last_end.get(key)
+            if previous is not None and t0 < previous - 1e-9:
+                violations.append(Violation(
+                    "fluid-epochs",
+                    f"fluid stream {key} epoch [{t0!r}, {t1!r}] overlaps "
+                    f"the previous epoch ending at {previous!r}",
+                    record.seq))
+            last_end[key] = max(t1, previous or t1)
+            arrivals = args.get("arrivals", 0.0)
+            ok = args.get("ok", 0.0)
+            failed = args.get("failed", 0.0)
+            slack = max(1e-6, 1e-6 * arrivals) + 2e-6  # journal rounding
+            if abs((ok + failed) - arrivals) > slack:
+                violations.append(Violation(
+                    "fluid-conservation",
+                    f"fluid stream {key} epoch [{t0!r}, {t1!r}]: "
+                    f"ok({ok}) + failed({failed}) != arrivals({arrivals})",
+                    record.seq))
+            share = args.get("healthy_share", 0.0)
+            if not 0.0 <= share <= 1.0 + 1e-9:
+                violations.append(Violation(
+                    "fluid-share",
+                    f"fluid stream {key} healthy_share {share!r} outside "
+                    f"[0, 1] at t={record.time!r}",
+                    record.seq))
         return violations
 
     def check_failover_detection(self, bound: float) -> List[Violation]:

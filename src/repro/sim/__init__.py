@@ -11,6 +11,13 @@ from .engine import (
     every,
 )
 from .failures import CrashInjector, FailureRecord
+from .fluid import (
+    EpochDriver,
+    jitter_mean_factor,
+    jitter_p99_factor,
+    mgk_utilization,
+    mgk_wait,
+)
 from .network import (
     DEFAULT_REGION_LATENCY,
     AsyncReply,
@@ -35,6 +42,11 @@ __all__ = [
     "every",
     "CrashInjector",
     "FailureRecord",
+    "EpochDriver",
+    "jitter_mean_factor",
+    "jitter_p99_factor",
+    "mgk_utilization",
+    "mgk_wait",
     "DEFAULT_REGION_LATENCY",
     "AsyncReply",
     "Endpoint",

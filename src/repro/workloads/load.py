@@ -39,6 +39,112 @@ class DiurnalCurve:
         return mean + amplitude * math.sin(
             2.0 * math.pi * (t - self.phase) / self.period)
 
+    def integral(self, t0: float, t1: float) -> float:
+        """Exact integral of the rate over ``[t0, t1]`` (requests)."""
+        if t1 < t0:
+            raise ValueError("need t0 <= t1")
+        mean = (self.base + self.peak) / 2.0
+        amplitude = (self.peak - self.base) / 2.0
+        omega = 2.0 * math.pi / self.period
+        area = mean * (t1 - t0)
+        area -= (amplitude / omega) * (math.cos(omega * (t1 - self.phase))
+                                       - math.cos(omega * (t0 - self.phase)))
+        return area
+
+
+@dataclass(frozen=True)
+class ConstantCurve:
+    """rate(t) = rate.  The shared form of fig17/fig19's fixed-rate arms,
+    usable by both the per-request driver and the fluid integrator."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+
+    def __call__(self, t: float) -> float:
+        return self.rate
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError("need t0 <= t1")
+        return self.rate * (t1 - t0)
+
+
+@dataclass(frozen=True)
+class StepCurve:
+    """Piecewise-constant rate: ``steps`` is ((start_time, rate), ...)
+    sorted by start time; before the first step the rate is ``initial``.
+
+    Models step load changes (region drains, product launches) that both
+    traffic modes must see identically.
+    """
+
+    steps: Sequence[tuple]
+    initial: float = 0.0
+
+    def __post_init__(self) -> None:
+        last = -math.inf
+        for start, rate in self.steps:
+            if start <= last:
+                raise ValueError("step times must be strictly increasing")
+            if rate < 0:
+                raise ValueError("step rates must be >= 0")
+            last = start
+        if self.initial < 0:
+            raise ValueError("initial rate must be >= 0")
+
+    def __call__(self, t: float) -> float:
+        rate = self.initial
+        for start, step_rate in self.steps:
+            if t < start:
+                break
+            rate = step_rate
+        return rate
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError("need t0 <= t1")
+        area = 0.0
+        cursor, rate = t0, self(t0)
+        for start, step_rate in self.steps:
+            if start <= cursor:
+                continue
+            if start >= t1:
+                break
+            area += rate * (start - cursor)
+            cursor, rate = start, step_rate
+        area += rate * (t1 - cursor)
+        return area
+
+
+def mean_rate(curve: Callable[[float], float], t0: float, t1: float,
+              samples: int = 8) -> float:
+    """Average rate of any curve over ``[t0, t1]``.
+
+    Uses the curve's exact ``integral`` when it has one (the curves in
+    this module all do); otherwise a composite-Simpson fallback, which is
+    exact for polynomials up to cubic and deterministic for everything.
+    This is the single quantity the fluid epoch integrator needs from a
+    rate curve — both traffic modes therefore share curve definitions.
+    """
+    if t1 < t0:
+        raise ValueError("need t0 <= t1")
+    if t1 == t0:
+        return max(0.0, curve(t0))
+    integral = getattr(curve, "integral", None)
+    if integral is not None:
+        return max(0.0, integral(t0, t1) / (t1 - t0))
+    if samples < 2:
+        raise ValueError("samples must be >= 2")
+    steps = samples + samples % 2  # Simpson needs an even interval count
+    width = (t1 - t0) / steps
+    total = curve(t0) + curve(t1)
+    for i in range(1, steps):
+        total += curve(t0 + i * width) * (4.0 if i % 2 else 2.0)
+    return max(0.0, total * width / 3.0 / (t1 - t0))
+
 
 def noisy(curve: Callable[[float], float], rng: random.Random,
           fraction: float = 0.05) -> Callable[[float], float]:
