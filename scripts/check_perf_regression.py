@@ -102,6 +102,40 @@ def check_fluid(report: dict, min_users_per_sec: float) -> list:
     return warnings
 
 
+def check_pdes(report: dict, min_speedup: float) -> list:
+    """Soft floor for the region-parallel PDES speedup.
+
+    Gates the ``pdes`` section's 3-region benchmark scenario: wall-clock
+    speedup of ``workers=N`` over the single-process serial run must
+    clear the floor.  Soft by necessity, not just CI noise: region
+    threads share the GIL, so pure-Python runs only scale on runners
+    with free cores — the parity flags (also re-checked here) are the
+    hard part of the gate and fail the bench script itself.  Returns
+    GitHub-annotation warning strings.
+    """
+    warnings = []
+    section = report.get("pdes")
+    if not section:
+        return ["::warning title=pdes gate::report has no `pdes` section "
+                "(run scripts/run_pdes_bench.py)"]
+    parity = section.get("parity", {})
+    for name, ok in sorted(parity.items()):
+        if not ok:
+            warnings.append(
+                f"::warning title=pdes gate::parity check `{name}` failed "
+                f"(serial and parallel runs disagree)")
+    scale = section.get("scale", {})
+    speedup = scale.get("speedup_vs_serial", 0.0)
+    if speedup < min_speedup:
+        warnings.append(
+            f"::warning title=pdes gate::workers={scale.get('workers', 0)} "
+            f"speedup {speedup:.2f}x below floor {min_speedup:.2f}x "
+            f"(serial {scale.get('serial_wall_seconds', 0.0):.2f}s vs "
+            f"parallel {scale.get('parallel_wall_seconds', 0.0):.2f}s; "
+            f"GIL-bound on runners without free cores)")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="warn when events/s regressed vs the baseline")
@@ -131,6 +165,11 @@ def main() -> int:
                         help="also gate the report's `fluid` section: floor "
                              "for the 10M-user scenario's simulated users "
                              "per wall second")
+    parser.add_argument("--pdes-min-speedup", type=float, default=None,
+                        help="also gate the report's `pdes` section: floor "
+                             "for the region-parallel speedup over the "
+                             "single-process serial run (soft — thread "
+                             "scaling needs free cores)")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -144,7 +183,8 @@ def main() -> int:
         # Section-only reports (e.g. the fluid-smoke job's) still run the
         # section gates below.
         if args.scale_min_publish_ops is None \
-                and args.fluid_min_users_per_sec is None:
+                and args.fluid_min_users_per_sec is None \
+                and args.pdes_min_speedup is None:
             return 0
     for figure, old, new, ratio in regressions:
         print(f"::warning title=perf regression::{figure}: "
@@ -196,7 +236,20 @@ def main() -> int:
                   f"(floor {args.fluid_min_users_per_sec:,.0f}), "
                   f"under the event-mode fig18 wall")
 
-    if regressions or obs_regressions or scale_warnings or fluid_warnings:
+    pdes_warnings = []
+    if args.pdes_min_speedup is not None:
+        pdes_warnings = check_pdes(report, args.pdes_min_speedup)
+        for warning in pdes_warnings:
+            print(warning)
+        if not pdes_warnings:
+            scale = report.get("pdes", {}).get("scale", {})
+            print(f"pdes gate: workers={scale.get('workers', 0)} at "
+                  f"{scale.get('speedup_vs_serial', 0.0):.2f}x over serial "
+                  f"(floor {args.pdes_min_speedup:.2f}x), parity checks "
+                  f"green")
+
+    if regressions or obs_regressions or scale_warnings \
+            or fluid_warnings or pdes_warnings:
         return 1 if args.hard else 0
     return 0
 

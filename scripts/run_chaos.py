@@ -34,13 +34,16 @@ from repro.experiments import runner  # noqa: E402
 
 def build_tasks(scenarios: List[str], arms: List[str], seed: int,
                 repeats: int, capacity: int,
-                journal_dir: str | None) -> List[Dict[str, Any]]:
+                journal_dir: str | None,
+                parallel_regions: int = 0) -> List[Dict[str, Any]]:
     tasks: List[Dict[str, Any]] = []
     for name in scenarios:
         for arm in arms:
             for attempt in range(1, repeats + 1):
                 kwargs: Dict[str, Any] = {"scenario": name, "arm": arm,
                                           "seed": seed, "capacity": capacity}
+                if parallel_regions:
+                    kwargs["parallel_regions"] = parallel_regions
                 if journal_dir:
                     kwargs["journal_path"] = str(
                         Path(journal_dir)
@@ -78,6 +81,11 @@ def main() -> int:
                         help="run cells inline in this process")
     parser.add_argument("--output", default=None,
                         help="write the JSON report to this path")
+    parser.add_argument("--parallel-regions", type=int, default=0,
+                        metavar="N",
+                        help="run each scenario's regions under the PDES "
+                             "coordinator with N region threads (0 = off); "
+                             "digest parity across repeats still applies")
     parser.add_argument("--check-trace", action="store_true",
                         help="fail (exit 1) on any invariant violation or "
                              "digest divergence")
@@ -113,9 +121,11 @@ def main() -> int:
 
     repeats = 1 if args.no_repeat else 2
     tasks = build_tasks(scenarios, args.arms, args.seed, repeats,
-                        args.capacity, args.journal_dir)
-    report = runner.run_experiments(tasks, processes=args.processes,
-                                    serial=args.serial)
+                        args.capacity, args.journal_dir,
+                        parallel_regions=args.parallel_regions)
+    report = runner.run_experiments(
+        tasks, processes=args.processes, serial=args.serial,
+        workers_per_task=max(1, args.parallel_regions))
 
     cells = report["figures"]["chaos"]["tasks"]
     failures = 0

@@ -12,8 +12,8 @@ Three measurements:
    users per wall second, the acceptance headline.
 
 The section is merged into BENCH_sim.json (the rest of the report is
-left untouched, same idiom as the ``scale`` section); ``--fluid-output``
-also writes the section alone for CI artifact upload.
+left untouched, same idiom as the ``scale`` section).  BENCH_sim.json is
+the single canonical bench report; CI uploads it whole.
 
     PYTHONPATH=src python scripts/run_fluid_bench.py           # full
     PYTHONPATH=src python scripts/run_fluid_bench.py --smoke   # CI-sized
@@ -44,8 +44,6 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default="BENCH_sim.json",
                         help="report to merge the fluid section into")
-    parser.add_argument("--fluid-output", default=None,
-                        help="also write the fluid section alone here")
     args = parser.parse_args()
 
     if args.smoke:
@@ -117,12 +115,6 @@ def main() -> int:
         json.dump(report, handle, indent=1, sort_keys=True)
         handle.write("\n")
     print(f"merged fluid section into {args.output}")
-
-    if args.fluid_output:
-        with open(args.fluid_output, "w") as handle:
-            json.dump({"fluid": section}, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote fluid section to {args.fluid_output}")
     return 0
 
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark region-parallel PDES -> BENCH_sim.json ``pdes`` section.
+
+Two hard parity gates and one timed measurement:
+
+1. **Figure 17 parity (hard).** The single-region figure must be
+   *bit-identical* under ``--parallel-regions``: same headline, same
+   journal digest.  (Single-region PDES collapses to the plain engine
+   loop — this gate pins that contract.)
+2. **3-region scenario parity (hard).** The
+   :mod:`repro.experiments.pdes_scale` queue-service scenario must
+   produce the same deterministic headline serial vs windowed, and
+   identical merged-journal digests for ``workers=1`` vs ``workers=N``
+   (thread scheduling must not leak into simulation results).
+3. **Speedup (soft).** Wall-clock of the serial run vs ``workers=N``.
+   Published as ``speedup_vs_serial``; gated warn-only by
+   ``check_perf_regression.py --pdes-min-speedup`` because region
+   threads share the GIL — scaling needs free cores.
+
+The section is merged into BENCH_sim.json (the rest of the report is
+left untouched, same idiom as the ``scale``/``fluid`` sections).
+BENCH_sim.json is the single canonical bench report; CI uploads it
+whole.  Parity failures exit non-zero.
+
+    PYTHONPATH=src python scripts/run_pdes_bench.py           # full
+    PYTHONPATH=src python scripts/run_pdes_bench.py --smoke   # CI-sized
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import pdes_scale, runner  # noqa: E402
+from repro.obs import Observability, use  # noqa: E402
+
+
+def _traced(task):
+    """Run one runner task under observability; (headline, digest)."""
+    obs = Observability(capacity=1 << 20)
+    with use(obs):
+        result = runner.run_task(task)
+    return result["headline"], obs.merged_digest()
+
+
+def _scale_traced(kwargs, parallel_regions):
+    """Run the 3-region scenario under observability; (headline, digest)."""
+    obs = Observability(capacity=1 << 20)
+    with use(obs):
+        result = pdes_scale.run(**kwargs, parallel_regions=parallel_regions)
+    return result.headline(), obs.merged_digest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down preset for CI")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=3,
+                        help="region-thread count for the parallel arm "
+                             "(default 3: one per region)")
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        help="report to merge the pdes section into")
+    args = parser.parse_args()
+
+    if args.smoke:
+        fig17_task = runner.select_task(runner.SMOKE_TASKS, "fig17:sm")
+        scale_kwargs = dict(shards=120, servers_per_region=8,
+                            day_length=600.0, days=1, seed=args.seed)
+    else:
+        fig17_task = runner.select_task(runner.DEFAULT_TASKS, "fig17:sm")
+        scale_kwargs = dict(seed=args.seed)
+
+    # Gate 1: fig17 serial vs --parallel-regions, bit-identical.
+    serial_head, serial_digest = _traced(fig17_task)
+    pdes_task, = runner.with_parallel_regions([fig17_task], args.workers)
+    pdes_head, pdes_digest = _traced(pdes_task)
+    fig17_headline_match = serial_head == pdes_head
+    fig17_digest_match = serial_digest == pdes_digest
+    print(f"fig17 parity: headline={'ok' if fig17_headline_match else 'FAIL'}"
+          f"  digest={'ok' if fig17_digest_match else 'FAIL'}"
+          f"  ({serial_digest} vs {pdes_digest})")
+
+    # Gate 2: 3-region scenario — headline parity serial vs windowed,
+    # digest parity workers=1 vs workers=N.
+    w1_head, w1_digest = _scale_traced(scale_kwargs, 1)
+    wn_head, wn_digest = _scale_traced(scale_kwargs, args.workers)
+    scale_workers_headline_match = w1_head == wn_head
+    scale_workers_digest_match = w1_digest == wn_digest
+    print(f"scale parity (w1 vs w{args.workers}): "
+          f"headline={'ok' if scale_workers_headline_match else 'FAIL'}"
+          f"  digest={'ok' if scale_workers_digest_match else 'FAIL'}"
+          f"  ({w1_digest} vs {wn_digest})")
+
+    # Timed arms (no observability — measure the engine, not the tracer).
+    serial = pdes_scale.run(**scale_kwargs)
+    parallel = pdes_scale.run(**scale_kwargs, parallel_regions=args.workers)
+    scale_serial_headline_match = serial.headline() == w1_head
+    speedup = (serial.wall_seconds / parallel.wall_seconds
+               if parallel.wall_seconds > 0 else 0.0)
+    print(f"scale parity (serial vs windowed): "
+          f"headline={'ok' if scale_serial_headline_match else 'FAIL'}")
+    print(pdes_scale.format_report(parallel))
+    print(f"speedup vs serial: {speedup:.2f}x "
+          f"(serial {serial.wall_seconds:.2f}s, "
+          f"workers={args.workers} {parallel.wall_seconds:.2f}s)")
+
+    section = {
+        "smoke": bool(args.smoke),
+        "workers": args.workers,
+        "parity": {
+            "fig17_headline_match": fig17_headline_match,
+            "fig17_digest_match": fig17_digest_match,
+            "scale_headline_match_serial_vs_windowed":
+                scale_serial_headline_match,
+            "scale_headline_match_w1_vs_wN": scale_workers_headline_match,
+            "scale_digest_match_w1_vs_wN": scale_workers_digest_match,
+        },
+        "scale": {
+            "workers": args.workers,
+            "serial_wall_seconds": serial.wall_seconds,
+            "parallel_wall_seconds": parallel.wall_seconds,
+            "speedup_vs_serial": speedup,
+            "requests_sent": parallel.requests_sent,
+            "events_processed": parallel.events_processed,
+            "windows": parallel.windows,
+            "deferred_events": parallel.deferred_events,
+            "clamped_events": parallel.clamped_events,
+        },
+    }
+
+    report = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            report = json.load(handle)
+    report["pdes"] = section
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"merged pdes section into {args.output}")
+
+    if not all(section["parity"].values()):
+        failed = [k for k, ok in section["parity"].items() if not ok]
+        print(f"PARITY FAILURE: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

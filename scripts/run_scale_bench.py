@@ -3,9 +3,8 @@
 
 Sweeps shard counts x dirty counts x mini-SM pool sizes, then merges the
 result into BENCH_sim.json as the ``scale`` section (the rest of the
-report — figures, baseline, totals — is left untouched).  Use
-``--scale-output`` to also write the section alone (CI uploads it as an
-artifact).
+report — figures, baseline, totals — is left untouched).  BENCH_sim.json
+is the single canonical bench report; CI uploads it whole.
 
     PYTHONPATH=src python scripts/run_scale_bench.py              # full sweep
     PYTHONPATH=src python scripts/run_scale_bench.py --smoke      # CI-sized
@@ -46,8 +45,6 @@ def main() -> int:
                         help="small-N preset for CI (one 10^4 point)")
     parser.add_argument("--output", default="BENCH_sim.json",
                         help="report to merge the scale section into")
-    parser.add_argument("--scale-output", default=None,
-                        help="also write the scale section alone here")
     args = parser.parse_args()
 
     if args.smoke:
@@ -80,12 +77,6 @@ def main() -> int:
         handle.write("\n")
     print(f"merged scale section into {args.output} "
           f"({section['wall_seconds']}s)")
-
-    if args.scale_output:
-        with open(args.scale_output, "w") as handle:
-            json.dump({"scale": section}, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote scale section to {args.scale_output}")
     return 0
 
 

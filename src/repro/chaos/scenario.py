@@ -357,7 +357,7 @@ class ScenarioRun:
     """One executing scenario: the harness plus chaos bookkeeping."""
 
     def __init__(self, spec: ScenarioSpec, arm: str, seed: int,
-                 obs: Observability) -> None:
+                 obs: Observability, parallel_regions: int = 0) -> None:
         if arm not in ARMS:
             raise KeyError(f"unknown arm {arm!r}; known: {sorted(ARMS)}")
         self.spec = spec
@@ -374,6 +374,7 @@ class ScenarioRun:
             seed=seed,
             zk_session_timeout=spec.zk_session_timeout,
             obs=obs,
+            parallel_regions=parallel_regions,
         )
         self.engine = self.cluster.engine
         app_spec = AppSpec(
@@ -511,23 +512,28 @@ class ScenarioRun:
 
 def run_scenario(spec: ScenarioSpec, arm: str = "sm", seed: int = 0,
                  capacity: int = 1 << 20,
-                 journal_path: Optional[str] = None) -> ScenarioResult:
+                 journal_path: Optional[str] = None,
+                 parallel_regions: int = 0) -> ScenarioResult:
     """Execute one scenario under one arm and check every invariant.
 
     Builds a private :class:`Observability` context (scenario journals
     must not interleave with an ambient one), runs the timeline, then
     replays the journal through the TraceChecker plus the scenario's
     expectation bounds.  ``journal_path`` dumps the raw journal (JSONL)
-    for post-mortems.
+    for post-mortems.  With ``parallel_regions`` the scenario runs in
+    PDES mode; the digest and checker then cover the merged per-region
+    journal (identical to the plain journal in single-process mode).
     """
     obs = Observability(capacity=capacity)
     with use(obs):
-        run = ScenarioRun(spec, arm, seed, obs)
+        run = ScenarioRun(spec, arm, seed, obs,
+                          parallel_regions=parallel_regions)
         run.execute()
+    journal = obs.merged_journal()
     if journal_path:
         from ..obs.trace_export import write_jsonl
-        write_jsonl(obs.journal, journal_path)
-    checker = TraceChecker(obs.journal)
+        write_jsonl(journal, journal_path)
+    checker = TraceChecker(journal)
     violations: List[Violation] = checker.check()
     expectations = spec.expectations
     if expectations.availability_bound is not None:
@@ -536,17 +542,17 @@ def run_scenario(spec: ScenarioSpec, arm: str = "sm", seed: int = 0,
     if expectations.failover_bound is not None:
         violations.extend(checker.check_failover_detection(
             expectations.failover_bound))
-    faults = sum(1 for r in obs.journal
+    faults = sum(1 for r in journal
                  if r.track == "chaos" and r.name == "fault")
-    recovers = sum(1 for r in obs.journal
+    recovers = sum(1 for r in journal
                    if r.track == "chaos" and r.name == "recover")
     return ScenarioResult(
         name=spec.name,
         arm=arm,
         seed=seed,
         sim_duration=run.engine.now - run.t0,
-        digest=obs.journal.digest(),
-        records=obs.journal.appended,
+        digest=journal.digest(),
+        records=journal.appended,
         violations=[v.as_dict() for v in violations],
         faults=faults,
         recovers=recovers,

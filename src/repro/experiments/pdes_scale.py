@@ -1,0 +1,208 @@
+"""The 3-region fig18-scale PDES benchmark scenario.
+
+A queue-service deployment spread over the paper's three regions, each
+region serving its own phase-shifted diurnal client population (the
+follow-the-sun shape of the fluid 10M-user scenario, but on the
+per-request event path) and running its own staged daily upgrades.  The
+scenario exists to exercise — and benchmark — region-parallel PDES: its
+request traffic is region-local (shards are region-pinned, clients talk
+to their own region), so the three region engines carry roughly equal
+event load and the control plane is the only serialized phase.
+
+Handler state is strictly region-local: one :class:`QueueServiceApp`
+instance per region, dispatched by container region, so no two region
+engines ever touch the same queue table — the scenario is deterministic
+under any worker count (the ``workers=1`` vs ``workers=N`` digest-parity
+gate in ``scripts/run_pdes_bench.py`` rests on this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..app.client import WorkloadRecorder
+from ..apps.queue_service import QueueServiceApp
+from ..cluster.taskcontrol import OpKind, OpReason
+from ..core.orchestrator import OrchestratorConfig
+from ..core.spec import AppSpec, ReplicationStrategy, uniform_shards
+from ..harness import SimCluster, deploy_app
+
+
+@dataclass
+class PdesScaleResult:
+    requests_sent: int
+    requests_failed: int
+    overall_error_rate: float
+    order_violations: int
+    upgrades_run: int
+    shard_moves: int
+    per_region: Dict[str, Tuple[int, int]]  # region -> (sent, failed)
+    wall_seconds: float
+    events_processed: int
+    # PDES diagnostics (all zero on a serial run):
+    windows: int = 0
+    deferred_events: int = 0
+    clamped_events: int = 0
+
+    def headline(self) -> Dict[str, object]:
+        """The deterministic outcome fields — what the parity gates
+        compare across serial / workers=1 / workers=N runs (wall clock
+        and diagnostics excluded)."""
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_failed": self.requests_failed,
+            "overall_error_rate": round(self.overall_error_rate, 12),
+            "order_violations": self.order_violations,
+            "upgrades_run": self.upgrades_run,
+            "shard_moves": self.shard_moves,
+            "per_region": {r: list(v) for r, v in
+                           sorted(self.per_region.items())},
+        }
+
+
+def run(shards: int = 600, servers_per_region: int = 20,
+        day_length: float = 1_800.0, days: int = 2,
+        base_rate: float = 8.0, peak_rate: float = 32.0,
+        seed: int = 0, parallel_regions: int = 0,
+        regions: Sequence[str] = ("FRC", "PRN", "ODN")) -> PdesScaleResult:
+    wall_start = time.perf_counter()
+    region_list = list(regions)
+    cluster = SimCluster.build(
+        regions=tuple(region_list),
+        machines_per_region=servers_per_region + 4,
+        seed=seed,
+        parallel_regions=parallel_regions,
+    )
+    key_space = shards * 8
+    # Region-pinned shards (round-robin): keeps each queue's primary in
+    # one region so request traffic — and queue state — stays local.
+    preferences = {index: region_list[index % len(region_list)]
+                   for index in range(shards)}
+    spec = AppSpec(
+        name="pdes-queue",
+        shards=uniform_shards(shards, key_space=key_space,
+                              preferred_regions=preferences),
+        replication=ReplicationStrategy.PRIMARY_ONLY,
+        max_concurrent_container_ops=max(1, servers_per_region // 10),
+    )
+    apps = {region: QueueServiceApp(spec) for region in region_list}
+
+    def handler_factory(container):
+        return apps[container.machine.region].handler_factory(container)
+
+    orchestrator_config = OrchestratorConfig(
+        failover_grace=240.0,
+        rebalance_interval=120.0,
+        drain_concurrency=4,
+        drain_pacing=0.2,
+    )
+    app = deploy_app(
+        cluster, spec,
+        {region: servers_per_region for region in region_list},
+        handler_factory=handler_factory,
+        orchestrator_config=orchestrator_config,
+        settle=60.0)
+
+    from ..workloads.load import DiurnalCurve
+    horizon = days * day_length
+    start = cluster.engine.now
+    recorders: Dict[str, WorkloadRecorder] = {}
+    for offset, region in enumerate(region_list):
+        recorder = WorkloadRecorder.with_bucket(day_length / 48.0)
+        recorders[region] = recorder
+        curve = DiurnalCurve(
+            base=base_rate, peak=peak_rate, period=day_length,
+            # Follow-the-sun: each region's peak a third of a day later.
+            phase=day_length * (0.25 + offset / len(region_list)))
+        client = app.client(cluster, region, attempts=2, rpc_timeout=0.5,
+                            retry_backoff=0.2)
+        # Each region's clients enqueue onto their own region's shards.
+        client.run_workload(
+            duration=horizon, rate=curve,
+            key_fn=lambda rng, o=offset: (
+                # Pick a shard pinned to this region, then a key in it.
+                (rng.randrange(shards // len(region_list))
+                 * len(region_list) + o) * 8 + rng.randrange(8)),
+            recorder=recorder,
+            payload_fn=lambda key: {"op": "enqueue", "queue": key,
+                                    "message": f"m{key}"})
+
+    # Staged daily upgrades per region, staggered so no two regions'
+    # full-fleet waves coincide.
+    upgrades_run = 0
+    concurrency = max(1, servers_per_region // 10)
+    restart_duration = 30.0
+
+    def canary(region: str) -> None:
+        nonlocal upgrades_run
+        twine = cluster.twines[region]
+        containers = [c for c in twine.job_containers(spec.name)
+                      if c.running]
+        for container in containers[:max(1, len(containers) // 10)]:
+            twine.submit_op(OpKind.RESTART, container, OpReason.UPGRADE)
+        upgrades_run += 1
+
+    def full(region: str) -> None:
+        nonlocal upgrades_run
+        try:
+            cluster.twines[region].start_rolling_upgrade(
+                spec.name, concurrency, restart_duration)
+        except RuntimeError:
+            return
+        upgrades_run += 1
+
+    for day in range(days):
+        for offset, region in enumerate(region_list):
+            day_start = start + day * day_length
+            stagger = day_length * 0.12 * offset
+            cluster.engine.call_at(day_start + day_length * 0.20 + stagger,
+                                   lambda r=region: canary(r))
+            cluster.engine.call_at(day_start + day_length * 0.40 + stagger,
+                                   lambda r=region: full(r))
+
+    cluster.run(until=start + horizon + 120.0)
+
+    sent = sum(int(round(r.sent)) for r in recorders.values())
+    failed = sum(int(round(r.failed)) for r in recorders.values())
+    events = cluster.engine.processed_events + sum(
+        e.processed_events for e in cluster.engines.values()
+        if e is not cluster.engine)
+    pdes = cluster.pdes
+    return PdesScaleResult(
+        requests_sent=sent,
+        requests_failed=failed,
+        overall_error_rate=failed / max(1, sent),
+        order_violations=sum(a.order_violations for a in apps.values()),
+        upgrades_run=upgrades_run,
+        shard_moves=app.orchestrator.executor.stats.total_moves,
+        per_region={region: (int(round(r.sent)), int(round(r.failed)))
+                    for region, r in recorders.items()},
+        wall_seconds=time.perf_counter() - wall_start,
+        events_processed=events,
+        windows=pdes.windows if pdes is not None else 0,
+        deferred_events=pdes.deferred_applied if pdes is not None else 0,
+        clamped_events=pdes.clamped if pdes is not None else 0,
+    )
+
+
+def format_report(result: PdesScaleResult) -> str:
+    lines = [
+        "PDES scale — 3-region queue service, follow-the-sun diurnal",
+        f"  requests sent       : {result.requests_sent}",
+        f"  overall error rate  : {result.overall_error_rate:.5f}",
+        f"  order violations    : {result.order_violations}",
+        f"  upgrades run        : {result.upgrades_run}",
+        f"  shard moves         : {result.shard_moves}",
+        f"  events processed    : {result.events_processed}",
+        f"  wall seconds        : {result.wall_seconds:.2f}",
+    ]
+    if result.windows:
+        lines.append(
+            f"  pdes: {result.windows} windows, "
+            f"{result.deferred_events} cross-region events, "
+            f"{result.clamped_events} clamped")
+    for region, (sent, failed) in sorted(result.per_region.items()):
+        lines.append(f"  {region}: sent={sent} failed={failed}")
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Region-parallel conservative PDES: per-region engines + window barriers.
+
+The simulated system is region-sharded by construction (the paper's §8.3
+runs three real regions), and the minimum inter-region one-way WAN
+latency is a natural conservative lookahead: no event executed in region
+A before time ``t`` can affect region B before ``t + lookahead``.  The
+classic null-message/conservative recipe therefore applies — partition
+the scenario into one :class:`~repro.sim.engine.Engine` per region (plus
+one for the shared control plane), advance them all in bounded windows
+of ``lookahead`` seconds, and exchange cross-engine events only at
+window boundaries.
+
+:class:`PdesGroup` is the coordinator.  Per window it runs two phases:
+
+1. **control phase** — the control engine (ZooKeeper, Twines, service
+   discovery, orchestrators) runs the window alone; its sends to region
+   engines are applied *before* phase 2, so control→region RPCs land
+   inside the same window with their true latency;
+2. **region phase** — every region engine runs the same window, serially
+   in fixed rank order (``workers=1``) or on a thread pool
+   (``workers>1``).  Cross-engine schedules issued during the phase are
+   buffered (the per-region outbox lives in the engine scheduling guards
+   — see ``Engine.call_at``) and applied at the barrier.
+
+Determinism contract (distinct from the single-process path's
+``(time, seq)`` contract): buffered events are applied in
+``(time, src_rank, seq)`` order, where ``src_rank`` is the sending
+engine's fixed rank (control first, then regions sorted by name) and
+``seq`` a per-sender counter.  Worker scheduling can change *when* an
+entry is appended to the buffer but never its key, so parallel runs are
+reproducible run-to-run and ``workers=N`` is event-for-event identical
+to ``workers=1``.
+
+Cross-engine events targeting a time before the barrier are clamped *to*
+the barrier — bounded added latency of at most one lookahead window.
+Cross-region RPCs never clamp (their latency is ≥ the lookahead by
+definition); clamping only touches control↔region shortcuts such as
+ZooKeeper session timers, which are orders of magnitude coarser than the
+window.
+
+Single-region scenarios collapse: the control engine doubles as the
+region engine, the group degenerates to a windowed run of one engine,
+and — because repeated ``run(until=...)`` calls tile time exactly — the
+result is *bit-identical* to the single-process path (the exact-parity
+case the fig17 gate asserts).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import weakref
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .engine import Engine, SimulationError, _Event, _NO_ARG
+
+
+def tile_windows(start: float, until: float,
+                 lookahead: float) -> List[Tuple[float, float]]:
+    """The window boundaries a PDES run uses over ``[start, until]``.
+
+    Windows are grid-aligned at ``start + k * lookahead`` (computed by
+    multiplication, not accumulation, so skipping empty windows lands on
+    the exact same boundaries) and the last window ends at exactly
+    ``until``.  Tiling invariants — each window starts where the previous
+    ended, no window exceeds ``lookahead``, and the union covers
+    ``[start, until]`` exactly — are property-tested.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be positive, got {lookahead!r}")
+    if until < start:
+        raise ValueError(f"until {until!r} before start {start!r}")
+    windows: List[Tuple[float, float]] = []
+    k = 0
+    lo = start
+    while lo < until:
+        hi = start + (k + 1) * lookahead
+        if hi > until:
+            hi = until
+        if hi <= lo:  # float safety: never emit an empty/backward window
+            hi = until
+        windows.append((lo, hi))
+        lo = hi
+        k += 1
+    return windows
+
+
+def merge_key(entry: Tuple[float, int, int, object, object]
+              ) -> Tuple[float, int, int]:
+    """Total order for buffered cross-engine events.
+
+    ``(time, src_rank, seq)``: time first (causality), then sending
+    engine rank, then the per-sender sequence number.  ``(src_rank,
+    seq)`` is unique, so the key is a total order no matter how worker
+    threads interleaved their appends — the property the merge tests
+    drive with arbitrary interleavings.
+    """
+    return (entry[0], entry[1], entry[2])
+
+
+class PdesGroup:
+    """Coordinates one control engine plus per-region engines.
+
+    ``region_engines`` maps region name → engine; a region mapped to the
+    control engine itself is run inside the control phase (the
+    single-region collapse).  ``workers`` bounds region-phase
+    parallelism: 1 = serial in rank order (the determinism baseline),
+    N>1 = a persistent thread pool of min(N, regions) workers.
+    """
+
+    def __init__(self, control: Engine,
+                 region_engines: Mapping[str, Engine],
+                 lookahead: float, workers: int = 1) -> None:
+        if lookahead <= 0:
+            raise SimulationError(
+                f"lookahead must be positive, got {lookahead!r}")
+        self.lookahead = lookahead
+        self.workers = max(1, workers)
+        self._control = control
+        names = sorted(region_engines)
+        self._region_names = [n for n in names
+                              if region_engines[n] is not control]
+        self._region_engines = [region_engines[n]
+                                for n in self._region_names]
+        self._engines: List[Engine] = [control] + self._region_engines
+        self._rank: Dict[Engine, int] = {e: i for i, e
+                                         in enumerate(self._engines)}
+        # Per-sender sequence counters (plain ints: each engine executes
+        # on at most one worker at a time, so its counter has one writer).
+        self._send_seq = [0] * (len(self._engines) + 1)
+        import threading
+        self._lock = threading.Lock()
+        self._outbox: List[Tuple[float, int, int, Engine, _Event]] = []
+        self._cancel_box: List[Tuple[int, int, Engine, _Event]] = []
+        self._pool = None
+        #: Diagnostics: windows executed, cross-engine events applied,
+        #: events clamped to a barrier, empty windows skipped.
+        self.windows = 0
+        self.deferred_applied = 0
+        self.clamped = 0
+        self.skipped = 0
+        for engine in self._engines:
+            engine._group = self
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def control(self) -> Engine:
+        return self._control
+
+    def region_names(self) -> List[str]:
+        return list(self._region_names)
+
+    def detach(self) -> None:
+        """Unhook the group (engines go back to plain serial behaviour)."""
+        for engine in self._engines:
+            engine._group = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def is_foreign(self, engine: Engine) -> bool:
+        """True when this thread is executing a *different* group engine —
+        the condition under which touching ``engine``'s queues directly
+        would race with another worker."""
+        current = Engine._tls.__dict__.get("engine")
+        return current is not None and current is not engine
+
+    # -- outbox --------------------------------------------------------------
+
+    def defer(self, src: Engine, target: Engine, when: float,
+              callback, arg=_NO_ARG):
+        """Buffer a cross-engine schedule; applied at the next barrier.
+
+        Returns a live :class:`~repro.sim.engine.EventHandle` (its event
+        carries ``seq == -1`` until applied, which the cancel path
+        understands), so callers that stash timer handles — ZooKeeper
+        session expiry, retry timers — work unchanged across engines.
+        """
+        from .engine import EventHandle
+        event = _Event(when, -1, callback, arg)
+        rank = self._rank.get(src, len(self._engines))
+        seq = self._send_seq[rank]
+        self._send_seq[rank] = seq + 1
+        with self._lock:
+            self._outbox.append((when, rank, seq, target, event))
+        return EventHandle(event, target)
+
+    def defer_cancel(self, engine: Engine, event: _Event) -> None:
+        """Buffer a cross-engine cancel; tombstoned at the next barrier."""
+        src = Engine._tls.__dict__.get("engine")
+        rank = self._rank.get(src, len(self._engines))
+        seq = self._send_seq[rank]
+        self._send_seq[rank] = seq + 1
+        with self._lock:
+            self._cancel_box.append((rank, seq, engine, event))
+
+    def _apply_deferred(self) -> None:
+        """Drain the buffers into the target engines (barrier step).
+
+        Runs on the coordinator thread while every engine is idle.
+        Schedules are applied in ``(time, src_rank, seq)`` order and
+        clamped to the target's clock (the barrier) when they point into
+        its past; cancels are applied after schedules so a defer-then-
+        cancel pair in one window resolves correctly.
+        """
+        with self._lock:
+            if not self._outbox and not self._cancel_box:
+                return
+            outbox, self._outbox = self._outbox, []
+            cancels, self._cancel_box = self._cancel_box, []
+        if outbox:
+            outbox.sort(key=merge_key)
+            for when, _rank, _seq, target, event in outbox:
+                if event.cancelled:
+                    continue
+                now = target._now
+                if when < now:
+                    when = now
+                    self.clamped += 1
+                event.time = when
+                event.seq = next(target._seq)
+                heapq.heappush(target._heap, (when, event.seq, event))
+                target._pending += 1
+                self.deferred_applied += 1
+        if cancels:
+            cancels.sort(key=lambda entry: (entry[0], entry[1]))
+            for _rank, _seq, engine, event in cancels:
+                if event.cancelled or event.done:
+                    continue
+                event.cancelled = True
+                if event.seq >= 0:
+                    engine._pending -= 1
+
+    # -- the window loop -----------------------------------------------------
+
+    def _next_event_time(self) -> Optional[float]:
+        times = [t for t in (engine._peek_time()
+                             for engine in self._engines) if t is not None]
+        return min(times) if times else None
+
+    def _advance_all(self, until: float) -> None:
+        for engine in self._engines:
+            engine.run(until=until)
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            size = min(self.workers, max(1, len(self._region_engines)),
+                       max(1, (os.cpu_count() or 1)))
+            self._pool = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="pdes-region")
+            weakref.finalize(self, self._pool.shutdown, wait=False)
+        return self._pool
+
+    def _run_regions(self, horizon: float) -> None:
+        engines = self._region_engines
+        if not engines:
+            return
+        if self.workers <= 1 or len(engines) == 1:
+            for engine in engines:
+                engine.run_window(horizon)
+            return
+        futures = [self._executor().submit(engine.run_window, horizon)
+                   for engine in engines]
+        for future in futures:
+            future.result()  # propagate worker exceptions
+
+    def run(self, until: float) -> float:
+        """Advance every engine to exactly ``until`` through the window
+        loop; returns the control engine's clock (== every clock)."""
+        control = self._control
+        if not self._region_engines:
+            # Single-region collapse: the control engine IS the region
+            # engine and there is nothing to synchronize with — run it
+            # straight through.  Not just an optimization: the traced run
+            # loop samples dispatches per run() call, so this keeps the
+            # journal (and its digest) bit-identical to the serial path,
+            # the exact-parity contract the fig17 gate asserts.
+            return control.run(until=until)
+        start = control._now
+        if until < start:
+            return control._now
+        if until == start:
+            # Parity with Engine.run(until=now): events at exactly `now`
+            # still execute (one barrier pass for anything they defer).
+            self._advance_all(until)
+            self._apply_deferred()
+            return control._now
+        lookahead = self.lookahead
+        k = 0
+        while control._now < until:
+            horizon = start + (k + 1) * lookahead
+            if horizon > until:
+                horizon = until
+            # Skip-ahead: buffers are empty at the top of the loop (they
+            # drain at every barrier), so only engine queues can hold
+            # work.  Jump over windows that would execute nothing.
+            nxt = self._next_event_time()
+            if nxt is None:
+                self._advance_all(until)
+                break
+            if nxt > until:
+                self._advance_all(until)
+                break
+            if nxt > horizon and horizon < until:
+                jump = int((nxt - start) // lookahead)
+                if jump > k:
+                    self.skipped += jump - k
+                    k = jump
+                    horizon = start + (k + 1) * lookahead
+                    if horizon > until:
+                        horizon = until
+            control.run_window(horizon)
+            self._apply_deferred()
+            self._run_regions(horizon)
+            self._apply_deferred()
+            self.windows += 1
+            k += 1
+        return control._now

@@ -1,0 +1,339 @@
+"""Region-parallel conservative PDES: unit, property, and parity tests.
+
+Three layers:
+
+- unit: window tiling, the cross-engine outbox (defer / clamp / cancel),
+  the single-region collapse, and the window loop's clock contract;
+- property (hypothesis): the tiling invariants, the ``(time, src_rank,
+  seq)`` total order under arbitrary buffer interleavings, and the
+  conservative-lookahead guarantee (no cross-engine delivery before
+  ``send_time + lookahead``);
+- parity: fig17 bit-identical serial vs ``--parallel-regions``; the
+  3-region scenario identical headline + merged-journal digest for
+  ``workers=1`` vs ``workers=2``; a chaos scenario under PDES.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Observability, use
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.pdes import PdesGroup, merge_key, tile_windows
+
+
+def _two_engine_group(lookahead=0.5, workers=1):
+    control = Engine()
+    region = Engine()
+    group = PdesGroup(control, {"R": region}, lookahead=lookahead,
+                      workers=workers)
+    return control, region, group
+
+
+# ---------------------------------------------------------------- unit
+
+
+def test_lookahead_must_be_positive():
+    with pytest.raises(SimulationError):
+        PdesGroup(Engine(), {}, lookahead=0.0)
+    with pytest.raises(ValueError):
+        tile_windows(0.0, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        tile_windows(1.0, 0.0, 0.5)
+
+
+def test_run_window_advances_exactly_to_horizon():
+    engine = Engine()
+    fired = []
+    engine.call_at(0.3, lambda: fired.append(engine.now))
+    engine.call_at(2.0, lambda: fired.append(engine.now))
+    engine.run_window(1.0)
+    assert engine.now == 1.0
+    assert fired == [0.3]
+    engine.run_window(2.5)
+    assert engine.now == 2.5
+    assert fired == [0.3, 2.0]
+
+
+def test_foreign_schedule_is_deferred_to_the_barrier():
+    control, region, group = _two_engine_group(lookahead=0.5)
+    deliveries = []
+
+    def send():
+        # Executing on the control engine; the region engine is foreign,
+        # so this lands in the outbox, not directly in region._heap.
+        region.call_after(0.5, lambda: deliveries.append(region.now))
+        assert len(region._heap) == 0
+
+    control.call_at(0.2, send)
+    group.run(until=2.0)
+    assert deliveries == [pytest.approx(0.7)]
+    assert group.deferred_applied == 1
+    assert control.now == region.now == 2.0
+
+
+def test_control_sends_land_in_the_same_window_unclamped():
+    control, region, group = _two_engine_group(lookahead=0.5)
+    deliveries = []
+
+    def send():
+        # Control runs its phase first and its sends apply before the
+        # region phase, so a sub-lookahead control->region delivery still
+        # lands at its true time inside the same window.
+        region.call_after(0.01, lambda: deliveries.append(region.now))
+
+    control.call_at(0.2, send)
+    group.run(until=1.0)
+    assert group.clamped == 0
+    assert deliveries == [pytest.approx(0.21)]
+
+
+def test_past_deliveries_clamp_to_the_barrier():
+    control, region, group = _two_engine_group(lookahead=0.5)
+    deliveries = []
+
+    def send():
+        # The region phase runs after control already reached the window
+        # end (0.5); targeting t=0.21 on the control engine points into
+        # its past, so the barrier clamps the delivery to 0.5.
+        control.call_after(0.01, lambda: deliveries.append(control.now))
+
+    region.call_at(0.2, send)
+    group.run(until=1.0)
+    assert group.clamped == 1
+    assert deliveries == [pytest.approx(0.5)]
+    # The clamp is bounded: never more than one lookahead window late.
+    assert deliveries[0] - 0.21 <= group.lookahead
+
+
+def test_cross_engine_cancel_before_the_barrier():
+    control, region, group = _two_engine_group(lookahead=0.5)
+    deliveries = []
+
+    def send_and_cancel():
+        handle = region.call_after(1.0, lambda: deliveries.append(1))
+        handle.cancel()
+
+    control.call_at(0.1, send_and_cancel)
+    group.run(until=3.0)
+    assert deliveries == []
+    assert region._pending == 0
+
+
+def test_cross_engine_cancel_after_the_barrier():
+    control, region, group = _two_engine_group(lookahead=0.5)
+    deliveries = []
+    handles = []
+
+    def send():
+        handles.append(region.call_after(2.0, lambda: deliveries.append(1)))
+
+    def cancel():
+        handles[0].cancel()
+
+    control.call_at(0.1, send)    # applied at barrier 0.5, fires at 2.1
+    control.call_at(1.0, cancel)  # cancels it two windows later
+    group.run(until=3.0)
+    assert deliveries == []
+    assert region._pending == 0
+
+
+def test_single_region_collapse_matches_plain_engine():
+    fired = []
+    engine = Engine()
+    group = PdesGroup(engine, {"FRC": engine}, lookahead=0.035)
+    engine.call_at(0.5, lambda: fired.append(engine.now))
+    engine.call_at(7.25, lambda: fired.append(engine.now))
+    group.run(until=10.0)
+    assert fired == [0.5, 7.25]
+    assert engine.now == 10.0
+    assert group.windows == 0  # ran straight through, no window loop
+
+
+def test_empty_windows_are_skipped():
+    control, region, group = _two_engine_group(lookahead=0.1)
+    control.call_at(5.0, lambda: None)
+    region.call_at(5.05, lambda: None)
+    group.run(until=6.0)
+    assert group.skipped > 0
+    assert group.windows < 61  # far fewer than 6.0 / 0.1 without skipping
+    assert control.now == region.now == 6.0
+
+
+def test_two_engine_run_is_deterministic_across_repeats():
+    def once(workers):
+        control, region, group = _two_engine_group(lookahead=0.25,
+                                                   workers=workers)
+        log = []
+        rng = random.Random(7)
+
+        def ping(i):
+            log.append(("control", round(control.now, 9), i))
+            region.call_after(0.25 + rng.random(), lambda: pong(i))
+
+        def pong(i):
+            log.append(("region", round(region.now, 9), i))
+
+        for i in range(40):
+            control.call_at(rng.random() * 4.0, lambda i=i: ping(i))
+        group.run(until=8.0)
+        return log
+
+    assert once(1) == once(1)
+    assert once(1) == once(2)
+
+
+# ------------------------------------------------------------ property
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start=st.floats(min_value=-100.0, max_value=100.0),
+    span=st.floats(min_value=0.0, max_value=50.0),
+    lookahead=st.floats(min_value=0.05, max_value=10.0),
+)
+def test_windows_tile_the_horizon_exactly(start, span, lookahead):
+    until = start + span
+    windows = tile_windows(start, until, lookahead)
+    if until <= start:
+        assert windows == []
+        return
+    assert windows[0][0] == start
+    assert windows[-1][1] == until
+    for (_, prev_hi), (next_lo, _) in zip(windows, windows[1:]):
+        assert prev_hi == next_lo  # no gap, no overlap
+    for lo, hi in windows:
+        assert hi > lo
+        assert hi - lo <= lookahead * (1 + 1e-9) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                   min_size=1, max_size=40),
+    ranks=st.data(),
+    shuffle_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_merge_order_is_independent_of_interleaving(times, ranks,
+                                                    shuffle_seed):
+    """Worker scheduling permutes buffer *append* order, never the sort.
+
+    Entries model the outbox: each sender (rank) stamps a monotonically
+    increasing per-sender seq, and arbitrary thread interleavings are a
+    permutation of the appended list.  Sorting by ``merge_key`` must give
+    one canonical order for every permutation — i.e. the key is a total
+    order.
+    """
+    seq_per_rank = {}
+    entries = []
+    for time in times:
+        rank = ranks.draw(st.integers(min_value=0, max_value=3))
+        seq = seq_per_rank.get(rank, 0)
+        seq_per_rank[rank] = seq + 1
+        entries.append((time, rank, seq, None, None))
+    canonical = sorted(entries, key=merge_key)
+    keys = [merge_key(e) for e in canonical]
+    assert len(set(keys)) == len(keys)  # (rank, seq) unique => total order
+    interleaved = list(entries)
+    random.Random(shuffle_seed).shuffle(interleaved)
+    assert sorted(interleaved, key=merge_key) == canonical
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lookahead=st.floats(min_value=0.05, max_value=1.0),
+    sends=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=5.0),
+                  st.floats(min_value=0.0, max_value=2.0)),
+        min_size=1, max_size=20),
+    workers=st.integers(min_value=1, max_value=2),
+)
+def test_no_delivery_before_send_plus_lookahead(lookahead, sends, workers):
+    """The conservative contract: a cross-engine event sent at ``t`` with
+    delay ``>= lookahead`` executes at exactly ``t + delay`` — never
+    early, and never clamped (clamping only touches sub-lookahead
+    shortcuts)."""
+    control, region, group = _two_engine_group(lookahead=lookahead,
+                                               workers=workers)
+    deliveries = []
+
+    def make_send(send_time, extra):
+        def send():
+            region.call_after(lookahead + extra,
+                              lambda: deliveries.append(
+                                  (send_time, extra, region.now)))
+        return send
+
+    for send_time, extra in sends:
+        control.call_at(send_time, make_send(send_time, extra))
+    group.run(until=9.0)
+    assert len(deliveries) == len(sends)
+    assert group.clamped == 0
+    for send_time, extra, at in deliveries:
+        assert at >= send_time + lookahead - 1e-9
+        assert at == pytest.approx(send_time + lookahead + extra)
+
+
+# -------------------------------------------------------------- parity
+
+
+def _fig17_arm(parallel_regions):
+    from repro.experiments.fig17_availability import _run_arm
+
+    obs = Observability(capacity=1 << 18)
+    with use(obs):
+        arm = _run_arm("SM", graceful=True, with_task_controller=True,
+                       shards=100, servers=10, restart_duration=30.0,
+                       request_rate=10.0, seed=0,
+                       parallel_regions=parallel_regions)
+    headline = (arm.success_rate, arm.upgrade_duration, arm.requests_sent,
+                arm.requests_failed, arm.shard_moves)
+    return headline, obs.merged_digest()
+
+
+def test_fig17_is_bit_identical_under_parallel_regions():
+    serial_head, serial_digest = _fig17_arm(0)
+    pdes_head, pdes_digest = _fig17_arm(2)
+    assert serial_head == pdes_head
+    assert serial_digest == pdes_digest
+
+
+SCALE_KWARGS = dict(shards=30, servers_per_region=4, day_length=240.0,
+                    days=1, base_rate=4.0, peak_rate=10.0, seed=0)
+
+
+def _scale(parallel_regions):
+    from repro.experiments import pdes_scale
+
+    obs = Observability(capacity=1 << 18)
+    with use(obs):
+        result = pdes_scale.run(**SCALE_KWARGS,
+                                parallel_regions=parallel_regions)
+    return result, obs.merged_digest()
+
+
+def test_three_region_scenario_workers_parity():
+    serial, _ = _scale(0)
+    w1, w1_digest = _scale(1)
+    w2, w2_digest = _scale(2)
+    # Windowed execution must not change the simulation's outcome...
+    assert serial.headline() == w1.headline() == w2.headline()
+    # ...and thread scheduling must not change a single journal record.
+    assert w1_digest == w2_digest
+    assert w1.windows > 0
+    assert w1.deferred_events > 0
+
+
+def test_chaos_scenario_under_pdes():
+    from repro.chaos import get, run_scenario
+
+    w1 = run_scenario(get("region_outage_failback"), arm="sm", seed=11,
+                      parallel_regions=1)
+    w2 = run_scenario(get("region_outage_failback"), arm="sm", seed=11,
+                      parallel_regions=2)
+    assert w1.violations == []
+    assert w2.violations == []
+    assert w1.digest == w2.digest
+    assert w1.headline() == w2.headline()
