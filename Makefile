@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim bench-request bench-scale bench-fluid bench-pdes profile trace-fig17
+.PHONY: test bench bench-quick bench-sim bench-request bench-scale bench-fluid bench-pdes fuzz-smoke profile trace-fig17
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -51,6 +51,17 @@ bench-fluid:
 # `--smoke` via PDES_ARGS for the CI-sized pass.
 bench-pdes:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_pdes_bench.py $(PDES_ARGS)
+
+# Coverage-guided chaos fuzzing smoke: a fixed-seed, fixed-budget search
+# (budget counted in runs, so the search is deterministic), run TWICE by
+# --determinism-check — the corpus coverage-key set and every per-spec
+# journal digest must be bit-identical across the two searches.  Saves
+# the corpus and merges a `fuzz` section into BENCH_sim.json.  Append
+# extra flags via FUZZ_ARGS (e.g. `--budget 1000 --processes 4`).
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_fuzz.py \
+		--budget 300 --seed 42 --determinism-check \
+		--corpus-dir fuzz_corpus --output BENCH_sim.json $(FUZZ_ARGS)
 
 profile:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/profile_solver.py --factor 5 --point 2

@@ -136,6 +136,36 @@ def check_pdes(report: dict, min_speedup: float) -> list:
     return warnings
 
 
+def check_fuzz(report: dict, min_specs_per_sec: float) -> list:
+    """Soft floor for the chaos fuzzer's execution throughput.
+
+    Gates the ``fuzz`` section: candidate scenarios executed per wall
+    second must clear the floor (the whole search degenerates if a
+    single run gets slow), and a search that found violations is
+    surfaced here too — the fuzz job itself already failed in that
+    case, this keeps the signal in the perf summary.  Returns
+    GitHub-annotation warning strings.
+    """
+    warnings = []
+    section = report.get("fuzz")
+    if not section:
+        return ["::warning title=fuzz gate::report has no `fuzz` section "
+                "(run scripts/run_fuzz.py --output)"]
+    specs_per_sec = section.get("specs_per_sec", 0.0)
+    if specs_per_sec < min_specs_per_sec:
+        warnings.append(
+            f"::warning title=fuzz gate::"
+            f"{section.get('specs_executed', 0)} specs at "
+            f"{specs_per_sec:,.1f} specs/s below floor "
+            f"{min_specs_per_sec:,.1f}")
+    if section.get("violations_found", 0):
+        warnings.append(
+            f"::warning title=fuzz gate::search found "
+            f"{section['violations_found']} invariant-violating "
+            f"timeline(s) — see the fuzz job log")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="warn when events/s regressed vs the baseline")
@@ -170,6 +200,11 @@ def main() -> int:
                              "for the region-parallel speedup over the "
                              "single-process serial run (soft — thread "
                              "scaling needs free cores)")
+    parser.add_argument("--fuzz-min-specs-per-sec", type=float,
+                        default=None,
+                        help="also gate the report's `fuzz` section: floor "
+                             "for candidate scenarios executed per wall "
+                             "second")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -184,7 +219,8 @@ def main() -> int:
         # section gates below.
         if args.scale_min_publish_ops is None \
                 and args.fluid_min_users_per_sec is None \
-                and args.pdes_min_speedup is None:
+                and args.pdes_min_speedup is None \
+                and args.fuzz_min_specs_per_sec is None:
             return 0
     for figure, old, new, ratio in regressions:
         print(f"::warning title=perf regression::{figure}: "
@@ -248,8 +284,21 @@ def main() -> int:
                   f"(floor {args.pdes_min_speedup:.2f}x), parity checks "
                   f"green")
 
+    fuzz_warnings = []
+    if args.fuzz_min_specs_per_sec is not None:
+        fuzz_warnings = check_fuzz(report, args.fuzz_min_specs_per_sec)
+        for warning in fuzz_warnings:
+            print(warning)
+        if not fuzz_warnings:
+            section = report.get("fuzz", {})
+            print(f"fuzz gate: {section.get('specs_executed', 0)} specs "
+                  f"at {section.get('specs_per_sec', 0.0):,.1f} specs/s "
+                  f"(floor {args.fuzz_min_specs_per_sec:,.1f}), "
+                  f"{section.get('distinct_coverage_keys', 0)} coverage "
+                  f"keys, no violations")
+
     if regressions or obs_regressions or scale_warnings \
-            or fluid_warnings or pdes_warnings:
+            or fluid_warnings or pdes_warnings or fuzz_warnings:
         return 1 if args.hard else 0
     return 0
 

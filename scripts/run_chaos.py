@@ -28,20 +28,25 @@ from typing import Any, Dict, List
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.chaos import SCENARIOS, all_scenarios  # noqa: E402
+from repro.chaos import SCENARIOS, all_scenarios, load_spec  # noqa: E402
 from repro.experiments import runner  # noqa: E402
+from repro.obs.coverage import coverage_summary  # noqa: E402
 
 
 def build_tasks(scenarios: List[str], arms: List[str], seed: int,
                 repeats: int, capacity: int,
                 journal_dir: str | None,
-                parallel_regions: int = 0) -> List[Dict[str, Any]]:
+                parallel_regions: int = 0,
+                file_specs: Dict[str, Dict[str, Any]] | None = None
+                ) -> List[Dict[str, Any]]:
     tasks: List[Dict[str, Any]] = []
     for name in scenarios:
         for arm in arms:
             for attempt in range(1, repeats + 1):
                 kwargs: Dict[str, Any] = {"scenario": name, "arm": arm,
                                           "seed": seed, "capacity": capacity}
+                if file_specs and name in file_specs:
+                    kwargs["spec"] = file_specs[name]
                 if parallel_regions:
                     kwargs["parallel_regions"] = parallel_regions
                 if journal_dir:
@@ -63,7 +68,9 @@ def main() -> int:
     parser.add_argument("--all", action="store_true",
                         help="run every library scenario")
     parser.add_argument("--scenario", nargs="*", default=None,
-                        help="specific scenario names to run")
+                        help="specific scenario names to run, or "
+                             "@path/to/spec.json for a file-defined "
+                             "scenario (bare spec or fuzz corpus entry)")
     parser.add_argument("--arms", nargs="*", default=["sm", "baseline"],
                         choices=["sm", "baseline"],
                         help="ablation arms (default: both)")
@@ -105,14 +112,22 @@ def main() -> int:
             print(f"{spec.name:36s} {spec.title}  [{', '.join(bounds)}]")
         return 0
 
+    file_specs: Dict[str, Dict[str, Any]] = {}
     if args.all:
         scenarios = [spec.name for spec in all_scenarios()]
     elif args.scenario:
-        unknown = [name for name in args.scenario if name not in SCENARIOS]
-        if unknown:
-            parser.error(f"unknown scenarios: {unknown} "
-                         f"(known: {sorted(SCENARIOS)})")
-        scenarios = args.scenario
+        scenarios = []
+        for name in args.scenario:
+            if name.startswith("@"):
+                spec = load_spec(name[1:])
+                file_specs[spec.name] = spec.to_dict()
+                scenarios.append(spec.name)
+            elif name in SCENARIOS:
+                scenarios.append(name)
+            else:
+                parser.error(f"unknown scenario: {name!r} "
+                             f"(known: {sorted(SCENARIOS)}; or pass "
+                             f"@file.json)")
     else:
         parser.error("pick scenarios: --all or --scenario NAME [NAME ...]")
 
@@ -122,7 +137,8 @@ def main() -> int:
     repeats = 1 if args.no_repeat else 2
     tasks = build_tasks(scenarios, args.arms, args.seed, repeats,
                         args.capacity, args.journal_dir,
-                        parallel_regions=args.parallel_regions)
+                        parallel_regions=args.parallel_regions,
+                        file_specs=file_specs)
     report = runner.run_experiments(
         tasks, processes=args.processes, serial=args.serial,
         workers_per_task=max(1, args.parallel_regions))
@@ -143,6 +159,8 @@ def main() -> int:
                   f"faults={first['faults']} recovers={first['recovers']} "
                   f"ready={first['ready_fraction']:.2f} "
                   f"violations={len(violations)}")
+            print(f"     coverage: "
+                  f"{coverage_summary(frozenset(first.get('coverage', ())))}")
             if len(digests) > 1:
                 failures += 1
                 print(f"::error title=chaos determinism::{name}:{arm} "

@@ -1,0 +1,44 @@
+"""repro.chaos.fuzz — coverage-guided adversarial scenario search.
+
+The hand-written chaos library (:mod:`repro.chaos.library`) is a finite
+curriculum; this package makes the machine write the scenarios.  A
+:class:`~repro.chaos.fuzz.engine.FuzzEngine` generates, mutates and
+crosses :class:`~repro.chaos.scenario.ScenarioSpec` timelines using the
+registered fault-action vocabulary, runs every candidate
+deterministically through :func:`~repro.chaos.scenario.run_scenario`,
+fingerprints each run with :func:`repro.obs.coverage.coverage_keys`,
+and keeps a corpus prioritized by **novel coverage**.  Violating
+timelines are shrunk (:mod:`~repro.chaos.fuzz.shrink`, delta-debugging
+over actions then parameters) to minimal repros suitable for checking
+into ``tests/fixtures/chaos_corpus/`` as permanent regressions.
+
+Determinism is the contract throughout: the whole search is a pure
+function of ``(seed, budget, config)`` — mutation RNG from labelled
+substreams, per-candidate run seeds derived from the spec's canonical
+JSON, batch results merged in submission order — so a fixed-seed smoke
+budget reproduces the exact same corpus coverage set run-to-run.
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .engine import (FuzzConfig, FuzzEngine, FuzzResult, FuzzStats,
+                     evaluate_spec, run_seed_for)
+from .mutators import MUTATORS, crossover, mutate, seed_specs
+from .shrink import shrink, shrink_actions, shrink_params
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "FuzzConfig",
+    "FuzzEngine",
+    "FuzzResult",
+    "FuzzStats",
+    "MUTATORS",
+    "crossover",
+    "evaluate_spec",
+    "mutate",
+    "run_seed_for",
+    "seed_specs",
+    "shrink",
+    "shrink_actions",
+    "shrink_params",
+]

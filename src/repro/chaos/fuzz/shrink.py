@@ -1,0 +1,187 @@
+"""Shrinking: distill a timeline to a minimal form preserving a property.
+
+The shrinker is oracle-agnostic: it minimizes a
+:class:`~repro.chaos.scenario.ScenarioSpec` against an arbitrary
+``predicate(spec) -> bool`` ("does this spec still exhibit the thing I
+care about?").  The fuzzer instantiates the predicate two ways:
+
+* **violation repro** — re-run the spec with its recorded seed and
+  check the same invariant set still breaks
+  (:func:`repro.obs.coverage.violation_invariants`);
+* **coverage distillation** — re-run and check the spec still produces
+  the novel coverage keys that earned its corpus admission.
+
+Algorithm, in two stages (both plain ddmin-style greedy passes, both
+deterministic — no RNG anywhere):
+
+1. :func:`shrink_actions` — delta-debugging over the action tuple:
+   try dropping chunks (halves, then quarters, ... down to single
+   actions) and keep any drop that preserves the predicate;
+2. :func:`shrink_params` — per surviving action, try zeroing the
+   self-revert ``duration`` to the smallest value that still satisfies
+   the predicate (binary ladder), snap ``at`` earlier on a coarse grid,
+   and drop optional params one at a time; finally try shortening the
+   scenario ``duration`` itself.
+
+Every predicate call costs one full scenario run, so the caller passes
+an evaluation budget; the shrinker returns the best spec found when the
+budget runs out.  Specs are renormalized after every accepted step, so
+the result is always schedulable and canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Tuple
+
+from ..scenario import FaultAction, ScenarioSpec
+from .mutators import MIN_DURATION, normalize
+
+__all__ = ["shrink", "shrink_actions", "shrink_params", "ShrinkBudget"]
+
+Predicate = Callable[[ScenarioSpec], bool]
+
+
+class ShrinkBudget:
+    """A countdown of predicate evaluations shared across stages."""
+
+    def __init__(self, evals: int) -> None:
+        self.remaining = evals
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        self.spent += 1
+        return True
+
+
+def _with_actions(spec: ScenarioSpec,
+                  actions: List[FaultAction]) -> ScenarioSpec:
+    return normalize(replace(spec, actions=tuple(actions)))
+
+
+def shrink_actions(spec: ScenarioSpec, predicate: Predicate,
+                   budget: ShrinkBudget) -> ScenarioSpec:
+    """Drop as many actions as possible while the predicate holds.
+
+    Classic ddmin sweep: chunk size starts at half the timeline and
+    halves after each full pass that removed nothing, ending with
+    single-action removal attempts.
+    """
+    best = spec
+    chunk = max(1, len(best.actions) // 2)
+    while chunk >= 1:
+        removed_any = False
+        index = 0
+        while index < len(best.actions):
+            if len(best.actions) <= 1:
+                return best
+            candidate_actions = (list(best.actions[:index])
+                                 + list(best.actions[index + chunk:]))
+            if not candidate_actions:
+                index += chunk
+                continue
+            if not budget.take():
+                return best
+            candidate = _with_actions(best, candidate_actions)
+            if predicate(candidate):
+                best = candidate
+                removed_any = True
+                # Same index now holds the next chunk; do not advance.
+            else:
+                index += chunk
+        if chunk == 1 and not removed_any:
+            break
+        if not removed_any:
+            chunk //= 2
+    return best
+
+
+#: The ``at``-time grid (seconds) the param shrinker snaps onto, and the
+#: duration ladder it walks down.
+_TIME_GRID = 10.0
+_DURATION_LADDER: Tuple[float, ...] = (0.0, 5.0, 10.0, 20.0, 30.0, 60.0)
+
+
+def _simplify_action(action: FaultAction, spec: ScenarioSpec,
+                     predicate: Predicate, budget: ShrinkBudget,
+                     index: int) -> Tuple[FaultAction, ScenarioSpec]:
+    """Greedy per-action simplification; returns the kept action+spec."""
+    best_spec = spec
+    best_action = action
+
+    def try_variant(variant: FaultAction) -> bool:
+        nonlocal best_spec, best_action
+        if variant == best_action or not budget.take():
+            return False
+        actions = list(best_spec.actions)
+        actions[index] = variant
+        candidate = _with_actions(best_spec, actions)
+        if predicate(candidate):
+            best_spec = candidate
+            best_action = candidate.actions[index]
+            return True
+        return False
+
+    # Smallest self-revert duration that still works, walking the
+    # ladder upward from zero (first success wins).
+    if best_action.duration > 0:
+        for duration in _DURATION_LADDER:
+            if duration >= best_action.duration:
+                break
+            if try_variant(replace(best_action, duration=duration)):
+                break
+    # Snap the action earlier onto a coarse grid (earlier actions make
+    # shorter repros; never move later).
+    snapped = (best_action.at // _TIME_GRID) * _TIME_GRID
+    if snapped < best_action.at:
+        try_variant(replace(best_action, at=snapped))
+    # Drop optional params one at a time (kind defaults take over).
+    for name, _value in best_action.params:
+        pruned = tuple(p for p in best_action.params if p[0] != name)
+        try_variant(replace(best_action, params=pruned))
+    return best_action, best_spec
+
+
+def shrink_params(spec: ScenarioSpec, predicate: Predicate,
+                  budget: ShrinkBudget) -> ScenarioSpec:
+    """Simplify surviving actions' parameters, then the scenario span."""
+    best = spec
+    index = 0
+    while index < len(best.actions):
+        _action, best = _simplify_action(best.actions[index], best,
+                                         predicate, budget, index)
+        index += 1
+    # Shorten the scenario itself: the earliest end that keeps every
+    # action inside the window and still satisfies the predicate.
+    if best.actions:
+        last_at = max(a.at for a in best.actions)
+        floor = max(MIN_DURATION, last_at)
+        for fraction in (0.25, 0.5, 0.75):
+            target = max(floor, best.duration * fraction)
+            if target >= best.duration:
+                continue
+            if not budget.take():
+                return best
+            candidate = normalize(replace(best, duration=target))
+            if predicate(candidate):
+                best = candidate
+                break
+    return best
+
+
+def shrink(spec: ScenarioSpec, predicate: Predicate,
+           max_evals: int = 64) -> Tuple[ScenarioSpec, int]:
+    """Full two-stage shrink; returns ``(minimal spec, evals spent)``.
+
+    The input spec is assumed to satisfy the predicate already (the
+    caller observed the violation / coverage it is preserving); the
+    result is guaranteed to satisfy it too, since only predicate-passing
+    candidates are ever kept.
+    """
+    budget = ShrinkBudget(max_evals)
+    best = shrink_actions(normalize(spec), predicate, budget)
+    best = shrink_params(best, predicate, budget)
+    return best, budget.spent

@@ -74,6 +74,49 @@ class FaultAction:
                 return value
         return default
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form; ``params`` flattens back to a plain mapping."""
+        record: Dict[str, Any] = {"at": self.at, "kind": self.kind}
+        if self.duration:
+            record["duration"] = self.duration
+        if self.params:
+            record["params"] = dict(self.params)
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultAction":
+        """Parse and validate one timeline entry.
+
+        Unknown action kinds are rejected here (not at run time) so a
+        spec loaded from disk fails fast with a clear error.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"fault action must be an object, "
+                             f"got {type(data).__name__}")
+        unknown = set(data) - {"at", "kind", "duration", "params"}
+        if unknown:
+            raise ValueError(f"unknown fault-action fields: "
+                             f"{sorted(unknown)}")
+        kind = data.get("kind")
+        if kind not in ACTIONS:
+            raise ValueError(f"unknown action kind {kind!r}; "
+                             f"known: {sorted(ACTIONS)}")
+        at = data.get("at")
+        if not isinstance(at, (int, float)) or isinstance(at, bool):
+            raise ValueError(f"action {kind!r}: 'at' must be a number, "
+                             f"got {at!r}")
+        duration = data.get("duration", 0.0)
+        if not isinstance(duration, (int, float)) or isinstance(duration,
+                                                                bool):
+            raise ValueError(f"action {kind!r}: 'duration' must be a "
+                             f"number, got {duration!r}")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(f"action {kind!r}: 'params' must be an "
+                             f"object, got {type(params).__name__}")
+        return cls(at=float(at), kind=kind, duration=float(duration),
+                   params=tuple(sorted(params.items())))
+
 
 @dataclass(frozen=True)
 class Expectations:
@@ -90,6 +133,33 @@ class Expectations:
     failover_bound: Optional[float] = None
     #: Fraction of desired replicas READY at scenario end.
     final_ready_min: float = 0.95
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"availability_bound": self.availability_bound,
+                "failover_bound": self.failover_bound,
+                "final_ready_min": self.final_ready_min}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Expectations":
+        if not isinstance(data, dict):
+            raise ValueError(f"expectations must be an object, "
+                             f"got {type(data).__name__}")
+        unknown = set(data) - {"availability_bound", "failover_bound",
+                               "final_ready_min"}
+        if unknown:
+            raise ValueError(f"unknown expectation fields: "
+                             f"{sorted(unknown)}")
+        for key in ("availability_bound", "failover_bound"):
+            value = data.get(key)
+            if value is not None and (not isinstance(value, (int, float))
+                                      or isinstance(value, bool)):
+                raise ValueError(f"expectations: {key!r} must be a number "
+                                 f"or null, got {value!r}")
+        return cls(
+            availability_bound=data.get("availability_bound"),
+            failover_bound=data.get("failover_bound"),
+            final_ready_min=float(data.get("final_ready_min", 0.95)),
+        )
 
 
 @dataclass(frozen=True)
@@ -113,6 +183,80 @@ class ScenarioSpec:
     restart_hint: float = 60.0
     expectations: Expectations = field(default_factory=Expectations)
 
+    #: Fields serialized verbatim (name/title/actions/replication and
+    #: expectations are handled specially by to_dict/from_dict).
+    _SCALAR_FIELDS = ("duration", "machines_per_region",
+                      "servers_per_region", "shards", "replica_count",
+                      "request_rate", "settle", "failover_grace",
+                      "zk_session_timeout", "restart_hint")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON form ``run_chaos.py --scenario @file.json`` loads."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "title": self.title,
+            "actions": [action.to_dict() for action in self.actions],
+            "regions": list(self.regions),
+            "replication": self.replication.value,
+            "expectations": self.expectations.to_dict(),
+        }
+        for field_name in self._SCALAR_FIELDS:
+            record[field_name] = getattr(self, field_name)
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Parse a spec, validating shape, kinds and field names."""
+        if not isinstance(data, dict):
+            raise ValueError(f"scenario spec must be an object, "
+                             f"got {type(data).__name__}")
+        known = {"name", "title", "actions", "regions", "replication",
+                 "expectations", *cls._SCALAR_FIELDS}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        name = data.get("name")
+        if not name or not isinstance(name, str):
+            raise ValueError(f"scenario needs a non-empty string 'name', "
+                             f"got {name!r}")
+        actions = data.get("actions", [])
+        if not isinstance(actions, list):
+            raise ValueError("scenario 'actions' must be a list")
+        regions = data.get("regions", ["FRC", "PRN", "ODN"])
+        if (not isinstance(regions, list) or not regions
+                or not all(isinstance(r, str) for r in regions)):
+            raise ValueError(f"scenario 'regions' must be a non-empty "
+                             f"list of strings, got {regions!r}")
+        try:
+            replication = ReplicationStrategy(
+                data.get("replication", ReplicationStrategy.PRIMARY_ONLY))
+        except ValueError:
+            raise ValueError(
+                f"unknown replication {data.get('replication')!r}; known: "
+                f"{[s.value for s in ReplicationStrategy]}") from None
+        int_fields = {"machines_per_region", "servers_per_region",
+                      "shards", "replica_count"}
+        kwargs: Dict[str, Any] = {}
+        for field_name in cls._SCALAR_FIELDS:
+            if field_name in data:
+                value = data[field_name]
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    raise ValueError(f"scenario {field_name!r} must be a "
+                                     f"number, got {value!r}")
+                kwargs[field_name] = (int(value) if field_name in int_fields
+                                      else float(value))
+        return cls(
+            name=name,
+            title=data.get("title", name),
+            actions=tuple(FaultAction.from_dict(a) for a in actions),
+            regions=tuple(regions),
+            replication=replication,
+            expectations=Expectations.from_dict(
+                data.get("expectations", {})),
+            **kwargs,
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -130,6 +274,9 @@ class ScenarioResult:
     requests_sent: int
     requests_failed: int
     ready_fraction: float
+    #: Sorted coverage fingerprint of the run's merged journal plus its
+    #: violation signal (see :mod:`repro.obs.coverage`).
+    coverage: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -142,7 +289,8 @@ class ScenarioResult:
                 "recovers": self.recovers,
                 "requests_sent": self.requests_sent,
                 "requests_failed": self.requests_failed,
-                "ready_fraction": self.ready_fraction}
+                "ready_fraction": self.ready_fraction,
+                "coverage": list(self.coverage)}
 
 
 # -- action executors ---------------------------------------------------------
@@ -546,6 +694,8 @@ def run_scenario(spec: ScenarioSpec, arm: str = "sm", seed: int = 0,
                  if r.track == "chaos" and r.name == "fault")
     recovers = sum(1 for r in journal
                    if r.track == "chaos" and r.name == "recover")
+    from ..obs.coverage import coverage_keys
+    coverage = tuple(sorted(coverage_keys(journal, violations)))
     return ScenarioResult(
         name=spec.name,
         arm=arm,
@@ -559,4 +709,5 @@ def run_scenario(spec: ScenarioSpec, arm: str = "sm", seed: int = 0,
         requests_sent=run.recorder.sent,
         requests_failed=run.recorder.failed,
         ready_fraction=run.app.ready_fraction(),
+        coverage=coverage,
     )

@@ -1,0 +1,146 @@
+"""Scenario specs on disk: JSON round-trip plus schedulability checks.
+
+``ScenarioSpec.to_dict()`` / ``from_dict()`` (on the dataclasses) are
+the shape layer — field names, types, registered action kinds.  This
+module adds the file layer (:func:`load_spec` / :func:`dump_spec`) and
+the *schedulability* layer (:func:`validate_spec`): a spec can be
+well-formed JSON and still be unrunnable (an action scheduled past the
+scenario end, a region target the harness never builds).  The fuzzer
+calls :func:`validate_spec` on every generated candidate, and the
+property tests assert that every mutator/crossover output passes it.
+
+The canonical JSON form (:func:`canonical_json`) is sorted-key,
+compact-separator JSON — the stable identity the fuzzer hashes to
+derive per-spec run seeds and dedupe the corpus, so
+``(seed, spec JSON) -> journal digest`` has a well-defined left side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Union
+
+from .scenario import ACTIONS, ScenarioSpec
+
+__all__ = ["SpecValidationError", "validate_spec", "load_spec",
+           "dump_spec", "canonical_json", "spec_fingerprint"]
+
+
+class SpecValidationError(ValueError):
+    """A structurally valid spec that cannot be scheduled as written."""
+
+
+#: Per action kind, the params that name a region (must resolve against
+#: ``spec.regions`` for the run to find its target).
+_REGION_PARAMS = {
+    "crash_machine": ("region",),
+    "crash_rack": ("region",),
+    "crash_region": ("region",),
+    "isolate_region": ("region",),
+    "partition_pair": ("a", "b"),
+    "zk_expire": ("region",),
+    "maintenance": ("region",),
+    "rolling_upgrade": ("region",),
+    "crash_burst": ("region",),
+    "probe": ("region",),
+}
+
+
+def validate_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """Raise :class:`SpecValidationError` unless ``spec`` is runnable.
+
+    Checks (beyond the shape layer): positive harness dimensions,
+    every action kind registered, action times inside ``[0, duration]``,
+    non-negative durations, and region-naming params resolvable against
+    the spec's region list.  Returns the spec for call chaining.
+    """
+    if spec.duration <= 0:
+        raise SpecValidationError(
+            f"{spec.name}: duration must be positive, got {spec.duration!r}")
+    if spec.settle < 0:
+        raise SpecValidationError(
+            f"{spec.name}: settle must be non-negative, got {spec.settle!r}")
+    for dim in ("machines_per_region", "servers_per_region", "shards",
+                "replica_count"):
+        if getattr(spec, dim) < 1:
+            raise SpecValidationError(
+                f"{spec.name}: {dim} must be >= 1, "
+                f"got {getattr(spec, dim)!r}")
+    if spec.servers_per_region > spec.machines_per_region:
+        raise SpecValidationError(
+            f"{spec.name}: servers_per_region "
+            f"({spec.servers_per_region}) exceeds machines_per_region "
+            f"({spec.machines_per_region})")
+    regions = set(spec.regions)
+    for action in spec.actions:
+        if action.kind not in ACTIONS:
+            raise SpecValidationError(
+                f"{spec.name}: unknown action kind {action.kind!r}; "
+                f"known: {sorted(ACTIONS)}")
+        if not 0.0 <= action.at <= spec.duration:
+            raise SpecValidationError(
+                f"{spec.name}: action {action.kind!r} at t={action.at!r} "
+                f"is outside [0, {spec.duration!r}]")
+        if action.duration < 0:
+            raise SpecValidationError(
+                f"{spec.name}: action {action.kind!r} has negative "
+                f"duration {action.duration!r}")
+        for param in _REGION_PARAMS.get(action.kind, ()):
+            value = action.param(param)
+            if value is not None and value not in regions:
+                raise SpecValidationError(
+                    f"{spec.name}: action {action.kind!r} targets region "
+                    f"{value!r}, not one of {sorted(regions)}")
+    return spec
+
+
+def canonical_json(spec: ScenarioSpec) -> str:
+    """The sorted-key compact JSON identity of a spec."""
+    return json.dumps(spec.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """SHA-256 of the canonical JSON *minus* ``name``/``title`` — the
+    timeline identity the fuzzer uses for corpus dedupe and run-seed
+    derivation, so two identically-shaped candidates collide regardless
+    of the labels they were generated under."""
+    data = spec.to_dict()
+    data.pop("name", None)
+    data.pop("title", None)
+    return hashlib.sha256(json.dumps(data, sort_keys=True,
+                                     separators=(",", ":")).encode()
+                          ).hexdigest()
+
+
+def load_spec(path: Union[str, Path]) -> ScenarioSpec:
+    """Load, parse and validate a spec JSON file.
+
+    Corpus entry files (``{"spec": ..., "meta": ...}``) are accepted
+    too: the ``spec`` object is unwrapped so ``--replay`` works on both
+    bare specs and checked-in corpus entries.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise SpecValidationError(f"{path}: not valid JSON: {error}") \
+            from None
+    if isinstance(data, dict) and "spec" in data and "name" not in data:
+        data = data["spec"]
+    try:
+        spec = ScenarioSpec.from_dict(data)
+    except ValueError as error:
+        raise SpecValidationError(f"{path}: {error}") from None
+    return validate_spec(spec)
+
+
+def dump_spec(spec: ScenarioSpec, path: Union[str, Path]) -> Path:
+    """Write a spec as readable JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(spec.to_dict(), indent=1, sort_keys=True)
+                    + "\n")
+    return path

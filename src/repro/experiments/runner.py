@@ -97,25 +97,54 @@ def fluid_scale_task(**kwargs: Any) -> Dict[str, Any]:
             "full_reprices": result.full_reprices}
 
 
-def chaos_task(scenario: str, arm: str = "sm", seed: int = 0,
+def chaos_task(scenario: str = "", arm: str = "sm", seed: int = 0,
                capacity: int = 1 << 20,
                journal_path: Optional[str] = None,
-               parallel_regions: int = 0) -> Dict[str, Any]:
+               parallel_regions: int = 0,
+               spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Run one chaos scenario under one arm (see :mod:`repro.chaos`).
 
-    The headline carries the journal digest (the determinism
-    fingerprint) and every oracle violation; ``journal_path`` optionally
-    dumps the raw journal for post-mortems.
+    The scenario comes from the library by name, or — when ``spec`` is
+    given — from an inline ``ScenarioSpec.to_dict()`` payload (the
+    ``run_chaos.py --scenario @file.json`` path).  The headline carries
+    the journal digest (the determinism fingerprint) and every oracle
+    violation; ``journal_path`` optionally dumps the raw journal for
+    post-mortems.
     """
-    from repro.chaos import get, run_scenario
+    from repro.chaos import (ScenarioSpec, get, run_scenario,
+                             validate_spec)
 
-    result = run_scenario(get(scenario), arm=arm, seed=seed,
+    if spec is not None:
+        scenario_spec = validate_spec(ScenarioSpec.from_dict(spec))
+    else:
+        scenario_spec = get(scenario)
+    if journal_path:
+        parent = os.path.dirname(journal_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    result = run_scenario(scenario_spec, arm=arm, seed=seed,
                           capacity=capacity, journal_path=journal_path,
                           parallel_regions=parallel_regions)
     headline = result.headline()
     if journal_path:
         headline["journal_path"] = journal_path
     return headline
+
+
+def fuzz_eval_task(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one fuzz candidate in a worker process.
+
+    ``job`` is ``{"spec": ScenarioSpec.to_dict(), "arm", "seed",
+    "capacity"}``; the return value is :func:`repro.chaos.fuzz.engine.
+    evaluate_spec`'s plain dict, so the pool only ever pickles JSON-ish
+    payloads in both directions.
+    """
+    from repro.chaos import ScenarioSpec
+    from repro.chaos.fuzz.engine import evaluate_spec
+
+    spec = ScenarioSpec.from_dict(job["spec"])
+    return evaluate_spec(spec, job.get("arm", "sm"), job["seed"],
+                         job.get("capacity", 1 << 20))
 
 
 def pdes_scale_task(**kwargs: Any) -> Dict[str, Any]:

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, Optional
 
 from . import trace_export
 from .checker import REQUIRED_PHASES, TraceChecker, Violation
+from .coverage import coverage_keys, coverage_summary, violation_invariants
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import NO_TRACER, Journal, NullTracer, TraceRecord, Tracer
 
@@ -49,6 +50,7 @@ __all__ = [
     "Tracer", "NullTracer", "NO_TRACER", "Journal", "TraceRecord",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "TraceChecker", "Violation", "REQUIRED_PHASES", "trace_export",
+    "coverage_keys", "coverage_summary", "violation_invariants",
 ]
 
 

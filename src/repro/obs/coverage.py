@@ -1,0 +1,134 @@
+"""Coverage fingerprints: which behaviours a journal actually exercised.
+
+The chaos fuzzer (:mod:`repro.chaos.fuzz`) needs a cheap, deterministic
+answer to "did this scenario do anything *new*?".  :func:`coverage_keys`
+reduces a :class:`~repro.obs.tracer.Journal` (plus the TraceChecker's
+violation list) to a frozen set of short strings — the **coverage
+fingerprint** — chosen so that two scenarios exploring the same
+protocol paths collide and a scenario reaching a new path contributes
+at least one new key:
+
+* ``chaos:fault:<kind>`` / ``chaos:recover:<kind>`` /
+  ``chaos:planned:<kind>`` — which fault vocabulary entries fired (and
+  were reverted); ``chaos:probe:<check>:<ok|fail>`` for probes and any
+  other chaos instant (e.g. ``chaos:crash_deferred``) by name;
+* ``shards:<op>:<role>:<state>`` — :class:`AssignmentTable` transition
+  kinds (``add``/``set_state`` keep role+state; ``drop``/``reset``
+  collapse to the op);
+* ``migration:<kind>``, ``migration:<kind>:<outcome>`` and
+  ``migration:<kind>:phase:<phase>`` — which migration protocols ran,
+  how they ended, and which protocol phases were observed;
+* ``orchestrator:<name>`` — control-plane paths (``failover``,
+  ``emergency``, ``drain``, ...);
+* ``taskcontrol:<name>`` / ``router:<name>`` / ``fluid:<name>`` —
+  TaskController reviews and notices, router misroutes/failures,
+  fluid overload onsets;
+* ``net:<method>`` and ``net:<method>:<ok|fail>`` — which RPC methods
+  ran and whether any of them failed;
+* ``violation:<invariant>`` — the violation *signal*, folded into the
+  same namespace so "violates a new invariant" is just novel coverage.
+
+The keys are pure functions of the journal's canonical content (no
+wall-clock, no ids), so the fingerprint inherits the journal's
+determinism contract: ``(seed, spec) -> digest`` implies
+``(seed, spec) -> coverage_keys``.
+
+High-volume bookkeeping tracks (``engine`` sampling instants) are
+deliberately excluded — they appear in every run and would only dilute
+the fingerprint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, FrozenSet, Iterable, Union
+
+from .checker import Violation
+from .tracer import KIND_BEGIN, KIND_END, KIND_INSTANT, Journal
+
+__all__ = ["coverage_keys", "coverage_summary", "violation_invariants"]
+
+
+def violation_invariants(
+        violations: Iterable[Union[Violation, Dict[str, Any]]]
+) -> FrozenSet[str]:
+    """The distinct invariant names in a violation list (objects or the
+    ``as_dict`` form) — the shrinker's "same bug?" signature."""
+    names = set()
+    for violation in violations:
+        if isinstance(violation, Violation):
+            names.add(violation.invariant)
+        else:
+            names.add(violation.get("invariant", "?"))
+    return frozenset(names)
+
+
+def coverage_keys(
+        journal: Journal,
+        violations: Iterable[Union[Violation, Dict[str, Any]]] = (),
+) -> FrozenSet[str]:
+    """Extract the coverage fingerprint from a journal + violation list."""
+    keys = set()
+    span_names: Dict[int, str] = {}  # migration/net span -> begin name
+    for record in journal:
+        track = record.track
+        if track == "chaos":
+            if record.kind != KIND_INSTANT:
+                continue  # the scenario wrapper span carries no signal
+            args = record.args or {}
+            name = record.name
+            if name in ("fault", "recover", "planned"):
+                keys.add(f"chaos:{name}:{args.get('kind', '?')}")
+            elif name == "probe":
+                outcome = "ok" if args.get("ok") else "fail"
+                keys.add(f"chaos:probe:{args.get('check', '?')}:{outcome}")
+            else:
+                keys.add(f"chaos:{name}")
+        elif track == "shards":
+            args = record.args or {}
+            op = args.get("op", "?")
+            if op in ("add", "set_state"):
+                keys.add(f"shards:{op}:{args.get('role', '?')}"
+                         f":{args.get('state', '?')}")
+            else:
+                keys.add(f"shards:{op}")
+        elif track == "migration":
+            if record.kind == KIND_BEGIN:
+                span_names[record.span] = record.name
+                keys.add(f"migration:{record.name}")
+            elif record.kind == KIND_INSTANT and record.name == "phase":
+                args = record.args or {}
+                kind = span_names.get(args.get("span", 0), "?")
+                keys.add(f"migration:{kind}:phase:{args.get('phase', '?')}")
+            elif record.kind == KIND_END:
+                kind = span_names.pop(record.span, None)
+                if kind is not None:
+                    outcome = (record.args or {}).get("outcome", "?")
+                    keys.add(f"migration:{kind}:{outcome}")
+        elif track == "orchestrator":
+            if record.kind in (KIND_BEGIN, KIND_INSTANT):
+                keys.add(f"orchestrator:{record.name}")
+        elif track in ("taskcontrol", "router", "fluid"):
+            if record.kind == KIND_INSTANT:
+                keys.add(f"{track}:{record.name}")
+        elif track == "net":
+            if record.kind == KIND_BEGIN:
+                span_names[record.span] = record.name
+                keys.add(f"net:{record.name}")
+            elif record.kind == KIND_END:
+                method = span_names.pop(record.span, None)
+                ok = (record.args or {}).get("ok")
+                if method is not None and ok is not None:
+                    keys.add(f"net:{method}:{'ok' if ok else 'fail'}")
+    for invariant in violation_invariants(violations):
+        keys.add(f"violation:{invariant}")
+    return frozenset(keys)
+
+
+def coverage_summary(keys: Iterable[str]) -> str:
+    """One-line human summary: total plus per-namespace key counts."""
+    keys = list(keys)
+    groups = Counter(key.split(":", 1)[0] for key in keys)
+    inner = " ".join(f"{group}={count}"
+                     for group, count in sorted(groups.items()))
+    return f"{len(keys)} keys ({inner})" if keys else "0 keys"

@@ -131,6 +131,12 @@ class Journal:
             hasher.update(b"\n")
         return hasher.hexdigest()
 
+    def coverage_keys(self, violations=()):
+        """The behavioural coverage fingerprint of this journal (see
+        :func:`repro.obs.coverage.coverage_keys`)."""
+        from .coverage import coverage_keys
+        return coverage_keys(self, violations)
+
 
 class Tracer:
     """Records spans / instants / counters into a :class:`Journal`.

@@ -1,0 +1,137 @@
+"""JSON round-trip and schedulability validation for scenario specs."""
+
+import json
+
+import pytest
+
+from repro.chaos import (ACTIONS, Expectations, FaultAction, ScenarioSpec,
+                         SpecValidationError, all_scenarios, canonical_json,
+                         dump_spec, load_spec, spec_fingerprint,
+                         validate_spec)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="io_test", title="io test",
+        actions=(FaultAction(at=30.0, kind="crash_machine", duration=20.0,
+                             params=(("index", 1), ("region", "FRC"))),),
+        duration=150.0, regions=("FRC", "PRN"), machines_per_region=5,
+        servers_per_region=3, shards=8, request_rate=2.0, settle=40.0,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# -- round-trip ---------------------------------------------------------------
+
+def test_every_library_scenario_round_trips():
+    for spec in all_scenarios():
+        data = spec.to_dict()
+        # The wire form survives JSON serialization untouched.
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == data
+
+
+def test_round_trip_preserves_canonical_json_and_fingerprint():
+    spec = small_spec()
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert canonical_json(rebuilt) == canonical_json(spec)
+    assert spec_fingerprint(rebuilt) == spec_fingerprint(spec)
+
+
+def test_fingerprint_ignores_name_and_title():
+    spec = small_spec()
+    renamed = ScenarioSpec.from_dict(
+        dict(spec.to_dict(), name="other", title="other title"))
+    assert spec_fingerprint(renamed) == spec_fingerprint(spec)
+    assert canonical_json(renamed) != canonical_json(spec)
+
+
+def test_expectations_round_trip():
+    exp = Expectations(availability_bound=12.5, failover_bound=None,
+                       final_ready_min=0.75)
+    assert Expectations.from_dict(exp.to_dict()) == exp
+
+
+# -- rejection ----------------------------------------------------------------
+
+def test_unknown_action_kind_rejected_with_known_list():
+    with pytest.raises(ValueError) as excinfo:
+        FaultAction.from_dict({"at": 1.0, "kind": "meteor_strike"})
+    assert "meteor_strike" in str(excinfo.value)
+    assert "crash_machine" in str(excinfo.value)
+
+
+def test_unknown_fields_rejected():
+    spec = small_spec()
+    with pytest.raises(ValueError):
+        ScenarioSpec.from_dict(dict(spec.to_dict(), bogus=1))
+    with pytest.raises(ValueError):
+        FaultAction.from_dict({"at": 1.0, "kind": "crash_machine",
+                               "when": 2.0})
+
+
+def test_action_requires_numeric_times():
+    with pytest.raises(ValueError):
+        FaultAction.from_dict({"at": "soon", "kind": "crash_machine"})
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_validate_rejects_action_outside_window():
+    spec = small_spec(actions=(
+        FaultAction(at=400.0, kind="crash_machine"),))
+    with pytest.raises(SpecValidationError):
+        validate_spec(spec)
+
+
+def test_validate_rejects_unresolvable_region():
+    spec = small_spec(actions=(
+        FaultAction(at=30.0, kind="crash_region",
+                    params=(("region", "ATL"),)),))
+    with pytest.raises(SpecValidationError) as excinfo:
+        validate_spec(spec)
+    assert "ATL" in str(excinfo.value)
+
+
+def test_validate_rejects_more_servers_than_machines():
+    spec = small_spec(servers_per_region=9, machines_per_region=5)
+    with pytest.raises(SpecValidationError):
+        validate_spec(spec)
+
+
+def test_validate_accepts_every_library_scenario():
+    for spec in all_scenarios():
+        assert validate_spec(spec) is spec
+
+
+# -- file layer ---------------------------------------------------------------
+
+def test_dump_and_load_round_trip(tmp_path):
+    spec = small_spec()
+    path = dump_spec(spec, tmp_path / "deep" / "nested" / "spec.json")
+    assert load_spec(path) == spec
+
+
+def test_load_unwraps_corpus_entries(tmp_path):
+    spec = small_spec()
+    path = tmp_path / "entry.json"
+    path.write_text(json.dumps(
+        {"spec": spec.to_dict(), "meta": {"run_seed": 7}}))
+    assert load_spec(path) == spec
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(SpecValidationError):
+        load_spec(path)
+
+
+def test_probe_is_a_known_kind():
+    # The fuzzer excludes probes, but hand specs use them; the wire
+    # format must keep accepting every registered kind.
+    action = FaultAction.from_dict(
+        {"at": 5.0, "kind": "probe", "params": {"check": "ready_fraction"}})
+    assert action.kind in ACTIONS
