@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-sim bench-request bench-scale bench-fluid bench-pdes fuzz-smoke profile trace-fig17
+.PHONY: test bench bench-quick bench-sim bench-request bench-scale bench-fluid bench-pdes bench-skew fuzz-smoke profile trace-fig17
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -51,6 +51,15 @@ bench-fluid:
 # `--smoke` via PDES_ARGS for the CI-sized pass.
 bench-pdes:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_pdes_bench.py $(PDES_ARGS)
+
+# Hot-key skew benchmark: SM's load-based solver vs consistent hashing
+# vs static sharding under a Zipfian + scatter-gather workload with a
+# mid-run hot-set rotation.  Each arm runs twice (bit-identical journal
+# digests are a hard gate) and the three-arm comparison lands in
+# BENCH_sim.json's `skew` section.  Append `--smoke` via SKEW_ARGS for
+# the CI-sized pass.
+bench-skew:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/run_skew_bench.py $(SKEW_ARGS)
 
 # Coverage-guided chaos fuzzing smoke: a fixed-seed, fixed-budget search
 # (budget counted in runs, so the search is deterministic), run TWICE by

@@ -166,6 +166,45 @@ def check_fuzz(report: dict, min_specs_per_sec: float) -> list:
     return warnings
 
 
+def check_skew(report: dict, min_sm_advantage: float) -> list:
+    """Soft floor for SM's win in the hot-key skew benchmark.
+
+    Gates the ``skew`` section: the SM arm's P99 latency must beat the
+    *better* of the two baseline arms (consistent hashing, static
+    sharding) by at least ``min_sm_advantage`` (e.g. 1.5 = 50% lower
+    P99), and its load imbalance must beat them at all (>= 1.0).  The
+    section's hard properties (bit-identical same-seed digests, zero
+    TraceChecker violations) already failed the bench script itself;
+    they are re-surfaced here so one summary carries every signal.
+    Returns GitHub-annotation warning strings.
+    """
+    warnings = []
+    section = report.get("skew")
+    if not section:
+        return ["::warning title=skew gate::report has no `skew` section "
+                "(run scripts/run_skew_bench.py)"]
+    advantage = section.get("sm_p99_advantage", 0.0)
+    if advantage < min_sm_advantage:
+        warnings.append(
+            f"::warning title=skew gate::SM p99 advantage {advantage:.2f}x "
+            f"below floor {min_sm_advantage:.2f}x (best baseline p99 / "
+            f"SM p99)")
+    imbalance_advantage = section.get("sm_imbalance_advantage", 0.0)
+    if imbalance_advantage < 1.0:
+        warnings.append(
+            f"::warning title=skew gate::SM load imbalance worse than a "
+            f"baseline arm ({imbalance_advantage:.2f}x advantage)")
+    if not section.get("deterministic", False):
+        warnings.append("::warning title=skew gate::skew arms were not "
+                        "digest-deterministic")
+    for arm, stats in sorted(section.get("arms", {}).items()):
+        if stats.get("violations", 0):
+            warnings.append(
+                f"::warning title=skew gate::arm `{arm}` had "
+                f"{stats['violations']} TraceChecker violation(s)")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="warn when events/s regressed vs the baseline")
@@ -205,6 +244,10 @@ def main() -> int:
                         help="also gate the report's `fuzz` section: floor "
                              "for candidate scenarios executed per wall "
                              "second")
+    parser.add_argument("--skew-min-sm-advantage", type=float, default=None,
+                        help="also gate the report's `skew` section: floor "
+                             "for SM's P99 advantage over the better "
+                             "baseline arm (e.g. 1.5 = 50%% lower P99)")
     args = parser.parse_args()
 
     report = json.loads(Path(args.report).read_text())
@@ -220,7 +263,8 @@ def main() -> int:
         if args.scale_min_publish_ops is None \
                 and args.fluid_min_users_per_sec is None \
                 and args.pdes_min_speedup is None \
-                and args.fuzz_min_specs_per_sec is None:
+                and args.fuzz_min_specs_per_sec is None \
+                and args.skew_min_sm_advantage is None:
             return 0
     for figure, old, new, ratio in regressions:
         print(f"::warning title=perf regression::{figure}: "
@@ -297,8 +341,23 @@ def main() -> int:
                   f"{section.get('distinct_coverage_keys', 0)} coverage "
                   f"keys, no violations")
 
+    skew_warnings = []
+    if args.skew_min_sm_advantage is not None:
+        skew_warnings = check_skew(report, args.skew_min_sm_advantage)
+        for warning in skew_warnings:
+            print(warning)
+        if not skew_warnings:
+            section = report.get("skew", {})
+            print(f"skew gate: SM p99 advantage "
+                  f"{section.get('sm_p99_advantage', 0.0):.2f}x over the "
+                  f"best baseline (floor {args.skew_min_sm_advantage:.2f}x), "
+                  f"imbalance advantage "
+                  f"{section.get('sm_imbalance_advantage', 0.0):.2f}x, "
+                  f"digests deterministic")
+
     if regressions or obs_regressions or scale_warnings \
-            or fluid_warnings or pdes_warnings or fuzz_warnings:
+            or fluid_warnings or pdes_warnings or fuzz_warnings \
+            or skew_warnings:
         return 1 if args.hard else 0
     return 0
 

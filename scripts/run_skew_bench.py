@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run the hot-key skew benchmark (SM solver vs §2.2.1 baselines).
+
+Runs the three ``skew_lb`` arms — SM's load-based solver, consistent
+hashing, static modulo sharding — under a Zipfian point-read workload
+plus a scatter-gather workload with a mid-run hot-set rotation, then
+merges the result into BENCH_sim.json as the ``skew`` section (the rest
+of the report is left untouched).
+
+Two hard gates run inside this script (the perf-regression gate adds a
+soft SM-advantage floor on top):
+
+* determinism — every arm is run twice at the same seed and the journal
+  digests must be bit-identical;
+* trace cleanliness — the TraceChecker must report zero violations for
+  every arm.
+
+    PYTHONPATH=src python scripts/run_skew_bench.py              # bench scale
+    PYTHONPATH=src python scripts/run_skew_bench.py --smoke      # CI-sized
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.skew_lb import (  # noqa: E402
+    ARMS,
+    SkewParams,
+    format_report,
+    run_arm,
+)
+
+SMOKE = SkewParams(servers=6, shards=24, duration=240.0, settle=40.0,
+                   warmup=30.0, request_rate=60.0, scatter_rate=5.0,
+                   service_time=0.03)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skew", type=float, default=None,
+                        help="Zipf exponent override (default: per scale)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small-N preset for CI")
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        help="report to merge the skew section into")
+    args = parser.parse_args()
+
+    params = SMOKE if args.smoke else SkewParams()
+    if args.skew is not None:
+        params.skew = args.skew
+
+    start = time.monotonic()
+    results = {}
+    failures = []
+    for arm in ARMS:
+        first = run_arm(arm, params, args.seed)
+        second = run_arm(arm, params, args.seed)
+        if first.digest != second.digest:
+            failures.append(f"{arm}: digests differ across same-seed runs "
+                            f"({first.digest} vs {second.digest})")
+        if first.violations:
+            failures.append(f"{arm}: {first.violations} TraceChecker "
+                            f"violation(s)")
+        results[arm] = first
+        print(f"{arm:<16} p99={first.p99 * 1e3:8.1f}ms  "
+              f"imbalance={first.imbalance:5.2f}  moves={first.moves:4d}  "
+              f"digest={first.digest[:16]}")
+    wall = time.monotonic() - start
+
+    print(format_report(results))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    sm = results["sm"]
+    baseline_p99 = min(results[a].p99 for a in ARMS if a != "sm")
+    baseline_imb = min(results[a].imbalance for a in ARMS if a != "sm")
+    section = {
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "params": {
+            "servers": params.servers,
+            "shards": params.shards,
+            "skew": params.skew,
+            "duration": params.duration,
+            "request_rate": params.request_rate,
+            "scatter_rate": params.scatter_rate,
+            "fanout": params.fanout,
+            "service_time": params.service_time,
+        },
+        "arms": {arm: result.to_dict() for arm, result in results.items()},
+        # best (lowest-P99 / least-imbalanced) baseline vs SM: > 1 means
+        # SM wins even against the stronger baseline.
+        "sm_p99_advantage": round(baseline_p99 / sm.p99, 3) if sm.p99 else 0.0,
+        "sm_imbalance_advantage": round(baseline_imb / sm.imbalance, 3)
+        if sm.imbalance else 0.0,
+        "deterministic": True,
+        "wall_seconds": round(wall, 2),
+    }
+
+    report = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            report = json.load(handle)
+    report["skew"] = section
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"merged skew section into {args.output} "
+          f"(sm p99 advantage {section['sm_p99_advantage']}x, "
+          f"{section['wall_seconds']}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,8 @@ from .client import ApplicationClient, WorkloadRecorder, get_client
 from .fluid import FluidClient, FluidServer
 from .interfaces import NotOwnerError, RequestHandler, ShardHost
 from .runtime import AppRuntime
+from .scatter import (QueuedServiceHandler, ScatterGatherClient,
+                      queued_handler_factory)
 from .server import ApplicationServer, HostedShard, HostedState
 
 __all__ = [
@@ -19,4 +21,7 @@ __all__ = [
     "ApplicationServer",
     "HostedShard",
     "HostedState",
+    "QueuedServiceHandler",
+    "ScatterGatherClient",
+    "queued_handler_factory",
 ]

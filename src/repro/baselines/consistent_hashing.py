@@ -27,6 +27,7 @@ class ConsistentHashRing:
         self._ring: List[int] = []            # sorted virtual-node hashes
         self._owner: Dict[int, str] = {}      # hash -> node
         self._nodes: set = set()
+        self._points: Dict[str, List[int]] = {}  # node -> its inserted points
         for node in nodes:
             self.add_node(node)
 
@@ -36,23 +37,35 @@ class ConsistentHashRing:
     def nodes(self) -> List[str]:
         return sorted(self._nodes)
 
+    def copy(self) -> "ConsistentHashRing":
+        """Independent deep copy (membership changes don't leak back)."""
+        clone = ConsistentHashRing(virtual_nodes=self.virtual_nodes)
+        clone._ring = list(self._ring)
+        clone._owner = dict(self._owner)
+        clone._nodes = set(self._nodes)
+        clone._points = {node: list(pts) for node, pts in self._points.items()}
+        return clone
+
     def add_node(self, node: str) -> None:
         if node in self._nodes:
             raise ValueError(f"node {node!r} already on the ring")
         self._nodes.add(node)
+        points = self._points[node] = []
         for index in range(self.virtual_nodes):
             point = _hash64(f"{node}#{index}")
             if point in self._owner:
                 continue  # astronomically unlikely collision; skip the vnode
             bisect.insort(self._ring, point)
             self._owner[point] = node
+            points.append(point)
 
     def remove_node(self, node: str) -> None:
         if node not in self._nodes:
             raise KeyError(f"node {node!r} not on the ring")
         self._nodes.discard(node)
-        points = [p for p, owner in self._owner.items() if owner == node]
-        for point in points:
+        # O(vnodes-of-node * log ring): each node's inserted points are
+        # tracked, so no scan over every vnode on the ring is needed.
+        for point in self._points.pop(node):
             del self._owner[point]
             index = bisect.bisect_left(self._ring, point)
             del self._ring[index]
@@ -70,16 +83,20 @@ class ConsistentHashRing:
                            add: Sequence[str] = (),
                            remove: Sequence[str] = ()) -> float:
         """Fraction of sampled keys whose owner changes under a membership
-        change — the consistent-hashing selling point (≈ changed/total)."""
+        change — the consistent-hashing selling point (≈ changed/total).
+
+        Pure measurement: the change is applied to a private copy of the
+        ring, so this ring's membership is untouched on return.
+        """
         if not sample_keys:
             raise ValueError("need at least one sample key")
-        before = {key: self.node_for_key(key) for key in sample_keys}
+        changed = self.copy()
         for node in add:
-            self.add_node(node)
+            changed.add_node(node)
         for node in remove:
-            self.remove_node(node)
+            changed.remove_node(node)
         moved = sum(1 for key in sample_keys
-                    if self.node_for_key(key) != before[key])
+                    if changed.node_for_key(key) != self.node_for_key(key))
         return moved / len(sample_keys)
 
     def load_distribution(self, keys: Sequence[int]) -> Dict[str, int]:

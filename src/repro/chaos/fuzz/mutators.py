@@ -153,11 +153,17 @@ def _p_orchestrator_failover(rng, spec):
     return {}
 
 
+@_params_for("crash_hot_shard")
+def _p_crash_hot_shard(rng, spec):
+    return {"key": rng.randrange(spec.shards * 16)}
+
+
 #: Per-kind self-revert duration ranges (0 range = instantaneous kinds).
 _DURATION_RANGES: Dict[str, Tuple[float, float]] = {
     "crash_machine": (10.0, 90.0),
     "crash_rack": (20.0, 120.0),
     "crash_region": (40.0, 150.0),
+    "crash_hot_shard": (10.0, 90.0),
     "isolate_region": (30.0, 120.0),
     "partition_pair": (30.0, 120.0),
     "crash_burst": (60.0, 180.0),
@@ -191,6 +197,7 @@ _DEFAULT_REVERTS: Dict[str, float] = {
     "crash_machine": 30.0,
     "crash_rack": 60.0,
     "crash_region": 120.0,
+    "crash_hot_shard": 45.0,
     "isolate_region": 90.0,
     "partition_pair": 90.0,
 }

@@ -182,6 +182,20 @@ _SPECS: List[ScenarioSpec] = [
                                   failover_bound=120.0, final_ready_min=0.9),
     ),
     ScenarioSpec(
+        name="hot_shard_kill",
+        title="The machine hosting the hottest shard dies under Zipf load",
+        actions=(
+            # Resolved at fire time: whichever machine hosts the shard
+            # covering key 0 (rank 0 of the Zipf workload) goes down.
+            _act(60.0, "crash_hot_shard", 50.0, key=0),
+            _act(200.0, "probe", check="ready_fraction", min=0.9),
+        ),
+        duration=360.0,
+        zipf_skew=1.4,
+        expectations=Expectations(availability_bound=180.0,
+                                  failover_bound=120.0),
+    ),
+    ScenarioSpec(
         name="orchestrator_failover",
         title="The control plane dies and its successor takes over",
         actions=(

@@ -41,6 +41,7 @@ from ..obs import Observability, use
 from ..obs.checker import TraceChecker, Violation
 from ..sim.failures import CrashInjector
 from ..sim.rng import substream
+from ..workloads.load import ZipfKeySampler
 
 __all__ = ["FaultAction", "Expectations", "ScenarioSpec", "ScenarioResult",
            "ScenarioRun", "run_scenario", "ARMS", "ACTIONS"]
@@ -177,6 +178,9 @@ class ScenarioSpec:
     replica_count: int = 1
     replication: ReplicationStrategy = ReplicationStrategy.PRIMARY_ONLY
     request_rate: float = 4.0
+    #: Zipf exponent of the workload's key popularity; 0 keeps the
+    #: historical uniform sampler (and its exact seeded draw sequence).
+    zipf_skew: float = 0.0
     settle: float = 60.0
     failover_grace: float = 30.0
     zk_session_timeout: float = 10.0
@@ -187,8 +191,9 @@ class ScenarioSpec:
     #: expectations are handled specially by to_dict/from_dict).
     _SCALAR_FIELDS = ("duration", "machines_per_region",
                       "servers_per_region", "shards", "replica_count",
-                      "request_rate", "settle", "failover_grace",
-                      "zk_session_timeout", "restart_hint")
+                      "request_rate", "zipf_skew", "settle",
+                      "failover_grace", "zk_session_timeout",
+                      "restart_hint")
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON form ``run_chaos.py --scenario @file.json`` loads."""
@@ -332,6 +337,40 @@ def _crash_region(run: "ScenarioRun", act: FaultAction) -> None:
                           for c in run.app_containers(region)})
     run.crash_machines(region, machine_ids, "crash_region",
                        act.duration or 120.0)
+
+
+@action("crash_hot_shard")
+def _crash_hot_shard(run: "ScenarioRun", act: FaultAction) -> None:
+    """Kill the machine hosting the hottest shard's primary, mid-run.
+
+    Under a Zipf workload (``zipf_skew`` > 0) rank 0 maps to key 0, so
+    the hottest shard is the one covering ``key`` (default 0).  The
+    target is resolved *at fire time* from the live assignment table —
+    if the orchestrator already moved the hot shard, the fault follows
+    it.  Falls back to the first app machine when no owner is resolvable
+    (e.g. the shard is mid-failover), so the action is total.
+    """
+    from ..core.shard_map import ReplicaState, Role
+
+    hot_key = act.param("key", 0)
+    shard_id = next((s.shard_id for s in run.app.spec.shards
+                     if hot_key in s.key_range), None)
+    address = None
+    if shard_id is not None and run.app.orchestrator is not None:
+        replicas = run.app.orchestrator.table.replicas_of(shard_id)
+        live = [r for r in replicas if r.state is not ReplicaState.DROPPED]
+        primary = next((r for r in live if r.role is Role.PRIMARY), None)
+        chosen = primary or (live[0] if live else None)
+        if chosen is not None:
+            address = chosen.address
+    machine = None
+    if address is not None:
+        machine = next((c.machine for c in run.app.containers
+                        if c.address == address), None)
+    if machine is None:
+        machine = run.machine_at(run.spec.regions[0], 0)
+    run.crash_machines(machine.region, [machine.machine_id],
+                       "crash_hot_shard", act.duration or 45.0)
 
 
 @action("isolate_region")
@@ -641,10 +680,17 @@ class ScenarioRun:
         if spec.request_rate > 0:
             client = self.app.client(self.cluster, spec.regions[0],
                                      attempts=1, rpc_timeout=0.5)
+            if spec.zipf_skew > 0:
+                # Hot-key traffic: rank 0 is key 0, so "the hottest
+                # shard" is the one covering the lowest keys.
+                key_fn = ZipfKeySampler(spec.shards * 16,
+                                        skew=spec.zipf_skew)
+            else:
+                key_fn = lambda rng: rng.randrange(spec.shards * 16)
             client.run_workload(
                 duration=spec.duration,
                 rate=lambda t: spec.request_rate,
-                key_fn=lambda rng: rng.randrange(spec.shards * 16),
+                key_fn=key_fn,
                 recorder=self.recorder,
                 rng=substream(self.seed, "chaos", spec.name, "workload"),
             )

@@ -18,6 +18,7 @@ from . import (
     fig22_solver_opt,
     fig23_continuous_lb,
     scale,
+    skew_lb,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "fig22_solver_opt",
     "fig23_continuous_lb",
     "scale",
+    "skew_lb",
 ]

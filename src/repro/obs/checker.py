@@ -78,6 +78,7 @@ class TraceChecker:
         violations.extend(self._check_migration_protocol())
         violations.extend(self.check_fault_recovery())
         violations.extend(self.check_fluid())
+        violations.extend(self.check_scatter())
         return violations
 
     def coverage(self) -> "frozenset[str]":
@@ -296,6 +297,79 @@ class TraceChecker:
                     f"fluid stream {key} healthy_share {share!r} outside "
                     f"[0, 1] at t={record.time!r}",
                     record.seq))
+        return violations
+
+    # -- scatter-gather invariants (fan-out audit trail) ---------------------
+
+    def check_scatter(self) -> List[Violation]:
+        """Audit scatter-gather fan-outs: a merge waits for all its legs.
+
+        The scatter client journals one ``scatter/fanout`` instant per
+        request (with its ``legs`` count), one ``scatter/leg`` per leg
+        completion and one ``scatter/merge`` when the reply is assembled.
+        Per scatter id: at most one fanout and one merge; a merge must
+        account for exactly the fanned-out leg count (a merge firing
+        early — before every leg landed — is the tail-amplification bug
+        class this app exists to surface), its ``ok`` must agree with
+        ``failed_legs == 0``, and it must not precede its fanout in time.
+        Fanouts with no merge are in-flight at run end, not violations;
+        legs/merges whose fanout was evicted by the ring are unverifiable
+        and skipped.  Journals without a scatter track pass trivially.
+        """
+        violations: List[Violation] = []
+        fanouts: Dict[str, Any] = {}     # scatter id -> fanout record
+        leg_counts: Dict[str, int] = {}  # scatter id -> legs seen
+        merged: set = set()
+        for record in self.journal:
+            if record.kind != KIND_INSTANT or record.track != "scatter":
+                continue
+            args = record.args or {}
+            scatter = args.get("scatter", "")
+            if record.name == "fanout":
+                if scatter in fanouts:
+                    violations.append(Violation(
+                        "scatter-protocol",
+                        f"scatter {scatter!r} fanned out twice",
+                        record.seq))
+                    continue
+                fanouts[scatter] = record
+                leg_counts[scatter] = 0
+            elif record.name == "leg":
+                if scatter in leg_counts:
+                    leg_counts[scatter] += 1
+            elif record.name == "merge":
+                if scatter in merged:
+                    violations.append(Violation(
+                        "scatter-protocol",
+                        f"scatter {scatter!r} merged twice",
+                        record.seq))
+                    continue
+                merged.add(scatter)
+                fanout = fanouts.pop(scatter, None)
+                seen = leg_counts.pop(scatter, None)
+                if fanout is None:
+                    continue  # fanout evicted by the ring: unverifiable
+                expected = (fanout.args or {}).get("legs", 0)
+                if seen != expected or args.get("legs") != expected:
+                    violations.append(Violation(
+                        "scatter-protocol",
+                        f"scatter {scatter!r} merged after {seen} of "
+                        f"{expected} legs (merge claims "
+                        f"{args.get('legs')})",
+                        record.seq))
+                if args.get("ok") is not (args.get("failed_legs", 0) == 0):
+                    violations.append(Violation(
+                        "scatter-protocol",
+                        f"scatter {scatter!r} merge ok={args.get('ok')} "
+                        f"inconsistent with failed_legs="
+                        f"{args.get('failed_legs')}",
+                        record.seq))
+                if record.time < fanout.time - 1e-9:
+                    violations.append(Violation(
+                        "scatter-protocol",
+                        f"scatter {scatter!r} merged at t={record.time!r} "
+                        f"before its fanout at t={fanout.time!r}",
+                        record.seq))
         return violations
 
     def check_failover_detection(self, bound: float) -> List[Violation]:

@@ -18,6 +18,7 @@ from repro.workloads.fleet import (
 from repro.workloads.load import (
     DAY,
     DiurnalCurve,
+    ZipfKeySampler,
     noisy,
     static_shard_loads,
     zipfian_key_sampler,
@@ -105,6 +106,107 @@ class TestDiurnal:
                                    ["cpu"], skew=20.0, mean=1.0)
         values = [entry["cpu"] for entry in loads.values()]
         assert max(values) / min(values) > 5.0
+
+
+class TestZipf:
+    """Statistical checks on the bounded Zipf sampler: the satellite
+    bugfix replacing the old flat hot/cold two-tier mix."""
+
+    def test_rank_frequency_slope_matches_skew(self):
+        # On a log-log plot a Zipf(s) rank-frequency line has slope -s.
+        skew = 1.2
+        sampler = ZipfKeySampler(5000, skew=skew, support=1000)
+        rng = random.Random(11)
+        counts = [0] * sampler.support
+        for _ in range(120_000):
+            counts[sampler(rng)] += 1
+        # Fit over the top ranks, where counts are large enough that
+        # sampling noise cannot swamp the slope.
+        xs, ys = [], []
+        for rank in range(40):
+            assert counts[rank] > 0
+            xs.append(math.log(rank + 1))
+            ys.append(math.log(counts[rank]))
+        n = len(xs)
+        mean_x, mean_y = sum(xs) / n, sum(ys) / n
+        slope = (sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+                 / sum((x - mean_x) ** 2 for x in xs))
+        assert slope == pytest.approx(-skew, abs=0.1)
+
+    def test_empirical_mass_matches_exact_pmf(self):
+        sampler = ZipfKeySampler(1000, skew=1.5)
+        rng = random.Random(3)
+        draws = 50_000
+        counts = [0] * 10
+        for _ in range(draws):
+            key = sampler(rng)
+            if key < 10:
+                counts[key] += 1
+        for rank in range(10):
+            expected = sampler.probability(rank) * draws
+            assert counts[rank] == pytest.approx(expected, rel=0.1)
+
+    def test_deterministic_under_fixed_seed(self):
+        a = ZipfKeySampler(4096, skew=1.3)
+        b = ZipfKeySampler(4096, skew=1.3)
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        assert [a(rng_a) for _ in range(500)] == [b(rng_b) for _ in range(500)]
+
+    def test_single_draw_per_sample(self):
+        # One rng.random() per key: the draw-count contract seeded
+        # experiment traces rely on.
+        class CountingRandom(random.Random):
+            calls = 0
+
+            def random(self):
+                self.calls += 1
+                return super().random()
+
+        rng = CountingRandom(7)
+        sampler = ZipfKeySampler(100, skew=2.0)
+        for _ in range(50):
+            sampler(rng)
+        assert rng.calls == 50
+
+    def test_support_bounds_sampled_keys(self):
+        sampler = zipfian_key_sampler(10_000, skew=1.1, hot_keys=64)
+        rng = random.Random(9)
+        assert all(sampler(rng) < 64 for _ in range(2000))
+
+    def test_stride_scatters_hot_ranks(self):
+        sampler = ZipfKeySampler(1000, skew=1.4, stride=373)
+        assert sampler.key_for_rank(0) == 0
+        assert sampler.key_for_rank(1) == 373
+        assert sampler.key_for_rank(3) == (3 * 373) % 1000
+        # The affine map stays a bijection: distinct ranks, distinct keys.
+        keys = {sampler.key_for_rank(r) for r in range(1000)}
+        assert len(keys) == 1000
+
+    def test_rotate_moves_hot_set(self):
+        sampler = ZipfKeySampler(1000, skew=2.5)
+        rng = random.Random(1)
+        assert sampler.key_for_rank(0) == 0
+        sampler.rotate(500)
+        assert sampler.key_for_rank(0) == 500
+        hits = sum(1 for _ in range(2000) if 500 <= sampler(rng) < 600)
+        assert hits > 1500  # the mass followed the rotation
+
+    def test_set_skew_rebuilds_cdf(self):
+        sampler = ZipfKeySampler(1000, skew=0.0)
+        flat = sampler.probability(0)
+        assert flat == pytest.approx(1 / 1000)
+        sampler.set_skew(2.0)
+        assert sampler.probability(0) > 100 * sampler.probability(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeySampler(0)
+        with pytest.raises(ValueError):
+            ZipfKeySampler(100, skew=-1.0)
+        with pytest.raises(ValueError):
+            ZipfKeySampler(100, stride=10)  # gcd(10, 100) != 1
+        with pytest.raises(ValueError):
+            ZipfKeySampler(100, support=0)
 
 
 class TestSnapshots:
